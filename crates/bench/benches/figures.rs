@@ -1,0 +1,62 @@
+//! Criterion benches for the experiment substrate itself: workload
+//! generation, baseline evaluation at figure scale, and the pipeline
+//! timing model. (The figure binaries in `src/bin/` regenerate the
+//! paper's tables/figures; these benches track how fast that machinery
+//! runs.)
+
+use branchnet_sim::{simulate, CpuConfig};
+use branchnet_tage::{evaluate, evaluate_per_branch, TageScL, TageSclConfig};
+use branchnet_workloads::spec::{Benchmark, SpecSuite};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload-gen");
+    group.throughput(Throughput::Elements(50_000));
+    for bench in [Benchmark::Leela, Benchmark::Gcc, Benchmark::Exchange2] {
+        let w = SpecSuite::benchmark(bench);
+        let input = w.inputs().train[0].clone();
+        group.bench_function(bench.name(), |b| {
+            b.iter(|| black_box(w.generate(&input, 50_000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_evaluation(c: &mut Criterion) {
+    let w = SpecSuite::benchmark(Benchmark::Mcf);
+    let trace = w.generate(&w.inputs().test[0], 20_000);
+    let mut group = c.benchmark_group("evaluation");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("tage-sc-l/aggregate", |b| {
+        b.iter(|| {
+            let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+            black_box(evaluate(&mut p, &trace))
+        });
+    });
+    group.bench_function("tage-sc-l/per-branch", |b| {
+        b.iter(|| {
+            let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+            black_box(evaluate_per_branch(&mut p, &trace))
+        });
+    });
+    group.finish();
+}
+
+fn bench_pipeline_model(c: &mut Criterion) {
+    let w = SpecSuite::benchmark(Benchmark::Xz);
+    let trace = w.generate(&w.inputs().test[0], 20_000);
+    let cpu = CpuConfig::skylake_like();
+    let mut group = c.benchmark_group("pipeline-sim");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("tage-sc-l-64kb", |b| {
+        b.iter(|| {
+            let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+            black_box(simulate(&trace, &mut p, &cpu))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_generation, bench_baseline_evaluation, bench_pipeline_model);
+criterion_main!(benches);

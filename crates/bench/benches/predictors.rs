@@ -1,0 +1,111 @@
+//! Criterion benches: per-prediction throughput of every predictor in
+//! the workspace, plus the BranchNet inference-engine datapath. These
+//! quantify the software simulation cost (the paper's latency claims
+//! are hardware-level and asserted analytically in `branchnet-core`).
+
+use branchnet_core::config::BranchNetConfig;
+use branchnet_core::dataset::extract;
+use branchnet_core::engine::InferenceEngine;
+use branchnet_core::quantize::QuantizedMini;
+use branchnet_core::trainer::{train_model, TrainOptions};
+use branchnet_tage::{Bimodal, Gshare, HashedPerceptron, Predictor, TageScL, TageSclConfig};
+use branchnet_trace::Trace;
+use branchnet_workloads::spec::{Benchmark, SpecSuite};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn workload_trace(n: usize) -> Trace {
+    let bench = SpecSuite::benchmark(Benchmark::Leela);
+    bench.generate(&bench.inputs().test[0], n)
+}
+
+fn run_trace(p: &mut dyn Predictor, trace: &Trace) -> u64 {
+    let mut wrong = 0;
+    for r in trace.iter().filter(|r| r.kind.is_conditional()) {
+        let pred = p.predict(r.pc);
+        if pred != r.taken {
+            wrong += 1;
+        }
+        p.update(r, pred);
+    }
+    wrong
+}
+
+fn bench_predictor_throughput(c: &mut Criterion) {
+    let trace = workload_trace(10_000);
+    let mut group = c.benchmark_group("predict+update");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+
+    group.bench_function("bimodal", |b| {
+        b.iter_batched(
+            || Bimodal::new(13, 2),
+            |mut p| black_box(run_trace(&mut p, &trace)),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("gshare-4kb", |b| {
+        b.iter_batched(
+            || Gshare::new(14, 12),
+            |mut p| black_box(run_trace(&mut p, &trace)),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("hashed-perceptron", |b| {
+        b.iter_batched(
+            HashedPerceptron::default_config,
+            |mut p| black_box(run_trace(&mut p, &trace)),
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("tage-sc-l-64kb", |b| {
+        b.iter_batched(
+            || TageScL::new(&TageSclConfig::tage_sc_l_64kb()),
+            |mut p| black_box(run_trace(&mut p, &trace)),
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn trained_engine() -> InferenceEngine {
+    let traces = SpecSuite::benchmark(Benchmark::Leela).trace_set(10_000);
+    let cfg = BranchNetConfig::mini_1kb();
+    let ds = extract(&traces.train, 0x1108, cfg.window_len(), cfg.pc_bits);
+    let (model, _) = train_model(
+        &cfg,
+        &ds,
+        &TrainOptions { epochs: 2, max_examples: 400, ..Default::default() },
+    );
+    InferenceEngine::new(QuantizedMini::from_model(&model))
+}
+
+fn bench_engine_datapath(c: &mut Criterion) {
+    let trace = workload_trace(5_000);
+    let encoded: Vec<u32> =
+        trace.iter().filter(|r| r.kind.is_conditional()).map(|r| r.encode(12)).collect();
+    let mut engine = trained_engine();
+    for &e in &encoded {
+        engine.update(e);
+    }
+
+    let mut group = c.benchmark_group("inference-engine");
+    group.throughput(Throughput::Elements(encoded.len() as u64));
+    group.bench_function("update-stream", |b| {
+        b.iter(|| {
+            for &e in &encoded {
+                engine.update(black_box(e));
+            }
+        });
+    });
+    group.finish();
+
+    c.bench_function("inference-engine/predict", |b| {
+        b.iter(|| black_box(engine.predict()));
+    });
+    c.bench_function("inference-engine/checkpoint", |b| {
+        b.iter(|| black_box(engine.checkpoint()));
+    });
+}
+
+criterion_group!(benches, bench_predictor_throughput, bench_engine_datapath);
+criterion_main!(benches);

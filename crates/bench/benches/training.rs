@@ -1,0 +1,98 @@
+//! Criterion benches for the offline-training machinery: dataset
+//! extraction, one training step of Big-scaled and Mini models,
+//! quantization/lowering, and the knapsack budget assignment.
+
+use branchnet_core::config::BranchNetConfig;
+use branchnet_core::dataset::extract;
+use branchnet_core::model::BranchNetModel;
+use branchnet_core::quantize::QuantizedMini;
+use branchnet_core::selection::{assign_budget, BudgetItem};
+use branchnet_core::trainer::{train_model, TrainOptions};
+use branchnet_nn::loss::bce_with_logits;
+use branchnet_nn::optim::{Adam, ParamVisitor};
+use branchnet_workloads::spec::{Benchmark, SpecSuite};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_dataset_extraction(c: &mut Criterion) {
+    let bench = SpecSuite::benchmark(Benchmark::Mcf);
+    let trace = bench.generate(&bench.inputs().train[0], 30_000);
+    let traces = vec![trace];
+    let mut group = c.benchmark_group("dataset");
+    group.throughput(Throughput::Elements(30_000));
+    group.bench_function("extract-window-96", |b| {
+        b.iter(|| black_box(extract(&traces, 0x2108, 96, 12)));
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let bench = SpecSuite::benchmark(Benchmark::Xz);
+    let traces = vec![bench.generate(&bench.inputs().train[0], 20_000)];
+    for cfg in [BranchNetConfig::mini_1kb(), BranchNetConfig::big_scaled()] {
+        let ds = extract(&traces, 0x4200, cfg.window_len(), cfg.pc_bits);
+        let windows: Vec<&[u32]> =
+            ds.examples.iter().take(64).map(|e| e.window.as_slice()).collect();
+        let labels: Vec<f32> = ds.examples.iter().take(64).map(|e| e.label).collect();
+        let mut model = BranchNetModel::new(&cfg, 1);
+        let mut opt = Adam::new(0.01);
+        let mut rng = SmallRng::seed_from_u64(0);
+        c.bench_function(&format!("train-step-64/{}", cfg.name), |b| {
+            b.iter(|| {
+                let logits = model.forward(&windows, true, &mut rng);
+                let (_, grad) = bce_with_logits(&logits, &labels);
+                model.backward(&grad);
+                opt.step(&mut model);
+                model.zero_grad();
+            });
+        });
+        c.bench_function(&format!("predict-1/{}", cfg.name), |b| {
+            b.iter(|| black_box(model.predict_logit(windows[0])));
+        });
+    }
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let bench = SpecSuite::benchmark(Benchmark::Xz);
+    let traces = vec![bench.generate(&bench.inputs().train[0], 15_000)];
+    let cfg = BranchNetConfig::mini_2kb();
+    let ds = extract(&traces, 0x4200, cfg.window_len(), cfg.pc_bits);
+    let (model, _) = train_model(
+        &cfg,
+        &ds,
+        &TrainOptions { epochs: 2, max_examples: 500, ..Default::default() },
+    );
+    c.bench_function("quantize/lower-mini-2kb", |b| {
+        b.iter(|| black_box(QuantizedMini::from_model(&model)));
+    });
+}
+
+fn bench_budget_assignment(c: &mut Criterion) {
+    // 40 branches x 4 menu choices, 32 KB budget — the iso-latency
+    // assignment problem at paper scale.
+    let items: Vec<BudgetItem> = (0..40)
+        .map(|i| BudgetItem {
+            pc: 0x1000 + i * 8,
+            choices: vec![
+                (2048, 100.0 - i as f64),
+                (1024, 80.0 - i as f64),
+                (512, 50.0 - i as f64),
+                (256, 25.0 - i as f64),
+            ],
+        })
+        .collect();
+    c.bench_function("knapsack/40-branches-32kb", |b| {
+        b.iter(|| black_box(assign_budget(&items, 32 * 1024)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dataset_extraction,
+    bench_training_step,
+    bench_quantization,
+    bench_budget_assignment
+);
+criterion_main!(benches);

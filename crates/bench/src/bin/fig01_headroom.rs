@@ -1,0 +1,11 @@
+//! Regenerates Fig. 1 (MPKI decomposition by top mispredicting
+//! branches). `BRANCHNET_SCALE=full` for the thorough profile.
+
+use branchnet_bench::experiments::fig01_headroom;
+use branchnet_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = fig01_headroom::run(&scale);
+    print!("{}", fig01_headroom::render(&rows));
+}

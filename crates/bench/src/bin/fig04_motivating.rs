@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4 (offline-training generalization on the
+//! motivating microbenchmark).
+
+use branchnet_bench::experiments::fig04_motivating;
+use branchnet_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let points = fig04_motivating::run(&scale);
+    print!("{}", fig04_motivating::render(&points));
+}

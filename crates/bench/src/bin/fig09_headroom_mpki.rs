@@ -1,0 +1,11 @@
+//! Regenerates Fig. 9 (MTAGE-SC vs +Big-BranchNet, with ablations).
+
+use branchnet_bench::experiments::fig09_headroom_mpki;
+use branchnet_bench::Scale;
+use branchnet_workloads::spec::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = fig09_headroom_mpki::run(&scale, &Benchmark::all());
+    print!("{}", fig09_headroom_mpki::render(&rows));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Fig. 10 (most-improved branch accuracies, leela & mcf).
+
+use branchnet_bench::experiments::fig10_branch_accuracy;
+use branchnet_bench::Scale;
+use branchnet_workloads::spec::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env();
+    for bench in [Benchmark::Leela, Benchmark::Mcf] {
+        let result = fig10_branch_accuracy::run(&scale, bench, 16);
+        print!("{}", fig10_branch_accuracy::render(&result));
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 11 (practical Mini-BranchNet settings: MPKI and
+//! IPC improvements over 64 KB TAGE-SC-L).
+
+use branchnet_bench::experiments::fig11_practical;
+use branchnet_bench::Scale;
+use branchnet_workloads::spec::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = fig11_practical::run(&scale, &Benchmark::all());
+    print!("{}", fig11_practical::render(&rows));
+}

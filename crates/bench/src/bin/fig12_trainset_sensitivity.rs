@@ -1,0 +1,13 @@
+//! Regenerates Fig. 12 (sensitivity to training-set size).
+
+use branchnet_bench::experiments::fig12_trainset;
+use branchnet_bench::Scale;
+use branchnet_workloads::spec::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env();
+    for bench in [Benchmark::Leela, Benchmark::Xz] {
+        let points = fig12_trainset::run(&scale, bench);
+        print!("{}", fig12_trainset::render(bench, &points));
+    }
+}

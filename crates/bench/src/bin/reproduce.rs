@@ -1,0 +1,82 @@
+//! Runs every table and figure reproduction in sequence, printing the
+//! paper-style output of each. `BRANCHNET_SCALE=full` selects the
+//! thorough profile; the default `quick` profile finishes in tens of
+//! minutes on a laptop core.
+
+use branchnet_bench::experiments::*;
+use branchnet_bench::Scale;
+use branchnet_workloads::spec::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env();
+    // The CNN-training figures cover all ten benchmarks at
+    // BRANCHNET_SCALE=full; the quick profile runs them on the six
+    // benchmarks that carry the paper's story (the four BranchNet
+    // winners plus the two instructive failures, gcc and omnetpp) —
+    // the easy four contribute near-zero MPKI and near-zero deltas.
+    let full = std::env::var("BRANCHNET_SCALE").as_deref() == Ok("full");
+    let cnn_benches: Vec<Benchmark> = if full {
+        Benchmark::all().to_vec()
+    } else {
+        vec![
+            Benchmark::Leela,
+            Benchmark::Mcf,
+            Benchmark::Deepsjeng,
+            Benchmark::Xz,
+            Benchmark::Gcc,
+            Benchmark::Omnetpp,
+        ]
+    };
+    let t0 = std::time::Instant::now();
+    let section = |name: &str| {
+        println!("\n=== {name} [{:.0}s] ===", t0.elapsed().as_secs_f64());
+    };
+
+    section("Table I");
+    print!("{}", tables::table1());
+    section("Table II");
+    print!("{}", tables::table2());
+    section("Table III");
+    print!("{}", tables::table3());
+
+    section("Fig. 1");
+    print!("{}", fig01_headroom::render(&fig01_headroom::run(&scale)));
+
+    section("Fig. 4");
+    print!("{}", fig04_motivating::render(&fig04_motivating::run(&scale)));
+
+    section("Fig. 9");
+    print!("{}", fig09_headroom_mpki::render(&fig09_headroom_mpki::run(&scale, &cnn_benches)));
+
+    section("Fig. 10");
+    for bench in if full { vec![Benchmark::Leela, Benchmark::Mcf] } else { vec![Benchmark::Leela] } {
+        print!(
+            "{}",
+            fig10_branch_accuracy::render(&fig10_branch_accuracy::run(&scale, bench, 16))
+        );
+    }
+
+    section("Fig. 11");
+    print!("{}", fig11_practical::render(&fig11_practical::run(&scale, &cnn_benches)));
+
+    section("Fig. 12");
+    let fig12_benches = if full { vec![Benchmark::Leela, Benchmark::Xz] } else { vec![Benchmark::Xz] };
+    for bench in fig12_benches {
+        print!("{}", fig12_trainset::render(bench, &fig12_trainset::run(&scale, bench)));
+    }
+
+    section("Fig. 13");
+    let fig13_benches: Vec<Benchmark> = if full {
+        vec![Benchmark::Leela, Benchmark::Mcf, Benchmark::Deepsjeng, Benchmark::Xz]
+    } else {
+        vec![Benchmark::Leela, Benchmark::Xz]
+    };
+    print!("{}", fig13_budget::render(&fig13_budget::run(&scale, &fig13_benches, &[8, 16, 32, 64])));
+
+    section("Table IV");
+    let t4_bench = Benchmark::Leela;
+    let rows = tables::table4(&scale, t4_bench);
+    print!("{}", tables::render_table4(t4_bench, &rows));
+
+    println!("\nDone in {:.0}s.", t0.elapsed().as_secs_f64());
+}

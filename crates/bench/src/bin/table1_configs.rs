@@ -1,0 +1,5 @@
+//! Prints Table I (architecture knobs of every configuration).
+
+fn main() {
+    print!("{}", branchnet_bench::experiments::tables::table1());
+}

@@ -1,0 +1,5 @@
+//! Prints Table II (inference-engine storage breakdown).
+
+fn main() {
+    print!("{}", branchnet_bench::experiments::tables::table2());
+}

@@ -1,0 +1,5 @@
+//! Prints Table III (workload input partitioning).
+
+fn main() {
+    print!("{}", branchnet_bench::experiments::tables::table3());
+}

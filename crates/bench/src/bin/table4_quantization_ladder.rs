@@ -1,0 +1,12 @@
+//! Regenerates Table IV (the Big→Mini quantization ladder).
+
+use branchnet_bench::experiments::tables;
+use branchnet_bench::Scale;
+use branchnet_workloads::spec::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env();
+    let bench = Benchmark::Leela;
+    let rows = tables::table4(&scale, bench);
+    print!("{}", tables::render_table4(bench, &rows));
+}

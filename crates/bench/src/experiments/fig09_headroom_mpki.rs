@@ -1,0 +1,120 @@
+//! Fig. 9: headroom study — MPKI of MTAGE-SC (the unlimited-storage
+//! CBP2016 winner stand-in), MTAGE-SC + Big-BranchNet, and MTAGE-SC
+//! component ablations, per benchmark.
+
+use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use branchnet_core::config::BranchNetConfig;
+use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
+use branchnet_core::selection::offline_train;
+use branchnet_tage::TageSclConfig;
+use branchnet_workloads::spec::Benchmark;
+
+/// One benchmark's Fig. 9 bars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig09Row {
+    /// Which benchmark.
+    pub bench: Benchmark,
+    /// 64 KB TAGE-SC-L (context bar).
+    pub tage_sc_l_64kb: f64,
+    /// MTAGE-SC (unlimited stand-in).
+    pub mtage_sc: f64,
+    /// MTAGE-SC + Big-BranchNet.
+    pub mtage_plus_big: f64,
+    /// GTAGE alone (no SC, no loop).
+    pub gtage_only: f64,
+    /// MTAGE-SC without the SC's local-history component.
+    pub no_sc_local: f64,
+    /// Number of static branches Big-BranchNet improved.
+    pub improved_branches: usize,
+}
+
+/// The Big model used for headroom (compute-scaled; see DESIGN.md).
+#[must_use]
+pub fn big_config() -> BranchNetConfig {
+    BranchNetConfig::big_scaled()
+}
+
+/// Runs the experiment for the given benchmarks (all ten in the
+/// binaries; subsets in tests).
+#[must_use]
+pub fn run(scale: &Scale, benchmarks: &[Benchmark]) -> Vec<Fig09Row> {
+    let mtage = TageSclConfig::mtage_sc_unlimited();
+    benchmarks
+        .iter()
+        .map(|&bench| {
+            let traces = trace_set(bench, scale);
+            let tage64 = baseline_mpki(&TageSclConfig::tage_sc_l_64kb(), &traces);
+            let mtage_mpki = baseline_mpki(&mtage, &traces);
+            let gtage = baseline_mpki(&mtage.clone().gtage_only(), &traces);
+            let no_local = baseline_mpki(&mtage.clone().without_sc_local(), &traces);
+
+            // Big-BranchNet on top of MTAGE-SC.
+            let pack = offline_train(&big_config(), &mtage, &traces, &scale.pipeline_options());
+            let improved = pack.len();
+            let mut hybrid = HybridPredictor::new(&mtage);
+            for (r, m) in pack {
+                hybrid.attach(r.pc, AttachedModel::Float(m));
+            }
+            let plus_big = hybrid_test_mpki(&mut hybrid, &traces);
+
+            Fig09Row {
+                bench,
+                tage_sc_l_64kb: tage64,
+                mtage_sc: mtage_mpki,
+                mtage_plus_big: plus_big,
+                gtage_only: gtage,
+                no_sc_local: no_local,
+                improved_branches: improved,
+            }
+        })
+        .collect()
+}
+
+/// Paper-style rendering.
+#[must_use]
+pub fn render(rows: &[Fig09Row]) -> String {
+    let mut out = String::from(
+        "Fig. 9 — MPKI of MTAGE-SC and Big-BranchNet (plus ablations)\n\
+         benchmark    TAGE64  GTAGE   MTAGE-noLocal  MTAGE-SC  +BigBranchNet  improved-branches\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>6.3} {:>6.3}  {:>9.3}      {:>6.3}    {:>9.3}      {:>5}\n",
+            r.bench.name(),
+            r.tage_sc_l_64kb,
+            r.gtage_only,
+            r.no_sc_local,
+            r.mtage_sc,
+            r.mtage_plus_big,
+            r.improved_branches
+        ));
+    }
+    let mean = |f: fn(&Fig09Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    let base = mean(|r| r.mtage_sc);
+    let plus = mean(|r| r.mtage_plus_big);
+    out.push_str(&format!(
+        "mean MTAGE-SC {base:.3} -> +Big {plus:.3} ({:.1}% MPKI reduction; paper: 7.6%)\n",
+        100.0 * (base - plus) / base.max(1e-9)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_improves_mtage_on_a_friendly_benchmark() {
+        let scale =
+            Scale { branches_per_trace: 25_000, candidates: 4, epochs: 8, max_examples: 1_200 };
+        let rows = run(&scale, &[Benchmark::Xz]);
+        let r = &rows[0];
+        // MTAGE-SC beats 64KB TAGE-SC-L (more storage).
+        assert!(r.mtage_sc <= r.tage_sc_l_64kb * 1.05, "{r:?}");
+        // Big-BranchNet finds headroom beyond unlimited TAGE.
+        assert!(r.mtage_plus_big < r.mtage_sc, "{r:?}");
+        assert!(r.improved_branches > 0);
+        // Ablations hurt (GTAGE-only is the weakest variant).
+        assert!(r.gtage_only >= r.mtage_sc * 0.99, "{r:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 10: per-branch accuracy of the most-improved branches in leela
+//! and mcf — unlimited MTAGE-SC versus Big-BranchNet.
+
+use crate::harness::{trace_set, Scale};
+use crate::experiments::fig09_headroom_mpki::big_config;
+use branchnet_core::dataset::extract;
+use branchnet_core::selection::offline_train;
+use branchnet_core::trainer::evaluate_accuracy;
+use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
+use branchnet_trace::BranchStats;
+use branchnet_workloads::spec::Benchmark;
+
+/// One branch's pair of bars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig10Row {
+    /// Static branch address.
+    pub pc: u64,
+    /// MTAGE-SC accuracy on the test traces.
+    pub mtage_accuracy: f64,
+    /// Big-BranchNet accuracy on the test traces.
+    pub branchnet_accuracy: f64,
+    /// Dynamic occurrences on the test traces.
+    pub occurrences: f64,
+}
+
+/// The most-improved branches of one benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Rows sorted by validation improvement, best first.
+    pub rows: Vec<Fig10Row>,
+}
+
+/// Runs the experiment for `bench` (the paper shows leela and mcf),
+/// reporting up to `top` branches.
+#[must_use]
+pub fn run(scale: &Scale, bench: Benchmark, top: usize) -> Fig10Result {
+    let mtage = TageSclConfig::mtage_sc_unlimited();
+    let traces = trace_set(bench, scale);
+    let cfg = big_config();
+    let pack = offline_train(&cfg, &mtage, &traces, &scale.pipeline_options());
+
+    // Test-set baseline per-branch accuracy.
+    let mut test_stats = BranchStats::new();
+    for t in &traces.test {
+        let mut p = TageScL::new(&mtage);
+        test_stats.merge(&evaluate_per_branch(&mut p, t));
+    }
+
+    let rows = pack
+        .into_iter()
+        .take(top)
+        .filter_map(|(r, mut model)| {
+            let base = test_stats.get(r.pc)?;
+            let ds = extract(&traces.test, r.pc, cfg.window_len(), cfg.pc_bits);
+            if ds.is_empty() {
+                return None;
+            }
+            Some(Fig10Row {
+                pc: r.pc,
+                mtage_accuracy: base.accuracy(),
+                branchnet_accuracy: evaluate_accuracy(&mut model, &ds),
+                occurrences: base.predictions(),
+            })
+        })
+        .collect();
+    Fig10Result { bench, rows }
+}
+
+/// Paper-style rendering.
+#[must_use]
+pub fn render(result: &Fig10Result) -> String {
+    let mut out = format!(
+        "Fig. 10 — accuracy of the most improved branches of {} (test set)\n\
+         branch PC     occurrences   MTAGE-SC   Big-BranchNet\n",
+        result.bench.name()
+    );
+    for r in &result.rows {
+        out.push_str(&format!(
+            "{:#012x}  {:>10.0}    {:>6.3}     {:>6.3}\n",
+            r.pc, r.occurrences, r.mtage_accuracy, r.branchnet_accuracy
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leela_improved_branches_beat_mtage_on_test() {
+        let scale =
+            Scale { branches_per_trace: 25_000, candidates: 4, epochs: 8, max_examples: 1_200 };
+        let result = run(&scale, Benchmark::Leela, 4);
+        assert!(!result.rows.is_empty(), "leela must yield improvable branches");
+        // The paper's observation: BranchNet pushes the top improved
+        // branches far beyond what even unlimited MTAGE-SC reaches.
+        let best = &result.rows[0];
+        assert!(
+            best.branchnet_accuracy > best.mtage_accuracy,
+            "top branch: CNN {:.3} vs MTAGE {:.3}",
+            best.branchnet_accuracy,
+            best.mtage_accuracy
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig. 12: sensitivity of Big-BranchNet's MPKI reduction to the
+//! amount of training data.
+//!
+//! The paper varies the number of profiled training traces; this
+//! reproduction sweeps the per-branch training-example budget, which
+//! is the same lever (examples scale linearly with trace count).
+
+use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use branchnet_core::config::BranchNetConfig;
+use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
+use branchnet_core::selection::offline_train;
+use branchnet_tage::TageSclConfig;
+use branchnet_workloads::spec::Benchmark;
+
+/// MPKI reduction at one training-set size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig12Point {
+    /// Examples per branch used for training.
+    pub examples: usize,
+    /// Big-BranchNet hybrid MPKI reduction vs the baseline (%).
+    pub mpki_reduction_pct: f64,
+}
+
+/// Runs the sweep on one benchmark.
+#[must_use]
+pub fn run(scale: &Scale, bench: Benchmark) -> Vec<Fig12Point> {
+    let baseline = TageSclConfig::tage_sc_l_64kb();
+    let traces = trace_set(bench, scale);
+    let base = baseline_mpki(&baseline, &traces);
+    [scale.max_examples / 8, scale.max_examples / 4, scale.max_examples / 2, scale.max_examples]
+        .into_iter()
+        .map(|examples| {
+            let mut s = *scale;
+            s.max_examples = examples.max(50);
+            let pack = offline_train(
+                &BranchNetConfig::big_scaled(),
+                &baseline,
+                &traces,
+                &s.pipeline_options(),
+            );
+            let mut hybrid = HybridPredictor::new(&baseline);
+            for (r, m) in pack {
+                hybrid.attach(r.pc, AttachedModel::Float(m));
+            }
+            let mpki = hybrid_test_mpki(&mut hybrid, &traces);
+            Fig12Point {
+                examples: s.max_examples,
+                mpki_reduction_pct: if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Paper-style rendering.
+#[must_use]
+pub fn render(bench: Benchmark, points: &[Fig12Point]) -> String {
+    let mut out = format!(
+        "Fig. 12 — Big-BranchNet MPKI reduction vs training-set size ({})\n\
+         examples/branch   MPKI reduction\n",
+        bench.name()
+    );
+    for p in points {
+        out.push_str(&format!("{:>12}        {:>6.1}%\n", p.examples, p.mpki_reduction_pct));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_data_does_not_hurt_much() {
+        let scale =
+            Scale { branches_per_trace: 20_000, candidates: 3, epochs: 6, max_examples: 1_600 };
+        let points = run(&scale, Benchmark::Xz);
+        assert_eq!(points.len(), 4);
+        let first = points.first().expect("has points");
+        let last = points.last().expect("has points");
+        // The paper's Fig. 12 shape: reductions grow (or at least do
+        // not collapse) with more training data.
+        assert!(
+            last.mpki_reduction_pct >= first.mpki_reduction_pct - 3.0,
+            "full data {:.1}% vs smallest {:.1}%",
+            last.mpki_reduction_pct,
+            first.mpki_reduction_pct
+        );
+        assert!(last.mpki_reduction_pct > 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Fig. 13: sensitivity of iso-latency Mini-BranchNet to its total
+//! storage budget (8 / 16 / 32 / 64 KB packs on the 64 KB baseline).
+
+use crate::experiments::mini_pack::build_mini_pack;
+use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use branchnet_core::engine::InferenceEngine;
+use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
+use branchnet_tage::TageSclConfig;
+use branchnet_workloads::spec::Benchmark;
+
+/// One budget point for one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig13Point {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Total Mini-BranchNet budget in KB.
+    pub budget_kb: usize,
+    /// MPKI reduction vs the 64 KB baseline (%).
+    pub mpki_reduction_pct: f64,
+    /// Models actually attached.
+    pub models: usize,
+}
+
+/// Sweeps budgets over the given benchmarks.
+#[must_use]
+pub fn run(scale: &Scale, benchmarks: &[Benchmark], budgets_kb: &[usize]) -> Vec<Fig13Point> {
+    let baseline = TageSclConfig::tage_sc_l_64kb().without_sc_local();
+    let mut out = Vec::new();
+    for &bench in benchmarks {
+        let traces = trace_set(bench, scale);
+        let base = baseline_mpki(&baseline, &traces);
+        for &kb in budgets_kb {
+            let pack = build_mini_pack(&traces, &baseline, scale, kb * 1024);
+            let models = pack.models.len();
+            let mut hybrid = HybridPredictor::new(&baseline);
+            for (pc, q) in pack.models {
+                hybrid.attach(pc, AttachedModel::Engine(InferenceEngine::new(q)));
+            }
+            let mpki = hybrid_test_mpki(&mut hybrid, &traces);
+            out.push(Fig13Point {
+                bench,
+                budget_kb: kb,
+                mpki_reduction_pct: if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 },
+                models,
+            });
+        }
+    }
+    out
+}
+
+/// Paper-style rendering.
+#[must_use]
+pub fn render(points: &[Fig13Point]) -> String {
+    let mut out = String::from(
+        "Fig. 13 — iso-latency Mini-BranchNet MPKI reduction vs storage budget\n\
+         benchmark    budget  models  MPKI reduction\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<12} {:>4}KB  {:>4}    {:>6.1}%\n",
+            p.bench.name(),
+            p.budget_kb,
+            p.models,
+            p.mpki_reduction_pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_budgets_attach_at_least_as_many_models() {
+        let scale =
+            Scale { branches_per_trace: 20_000, candidates: 4, epochs: 6, max_examples: 1_000 };
+        let points = run(&scale, &[Benchmark::Xz], &[8, 32]);
+        assert_eq!(points.len(), 2);
+        assert!(points[1].models >= points[0].models);
+        // Bigger budget should not do meaningfully worse.
+        assert!(points[1].mpki_reduction_pct >= points[0].mpki_reduction_pct - 2.0);
+    }
+}

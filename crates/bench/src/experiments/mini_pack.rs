@@ -1,0 +1,130 @@
+//! Building budgeted Mini-BranchNet packs (paper Section V-B "Optimal
+//! Architecture Knobs" + Section VI-D's iso-storage / iso-latency
+//! settings).
+//!
+//! For every hard-branch candidate, one model per Mini preset is
+//! trained; each trained model is *quantized* and re-scored on the
+//! validation traces (selection must see the accuracy the hardware
+//! will actually deliver); then an exact knapsack picks the best
+//! per-branch model sizes under the total storage budget.
+
+use crate::harness::Scale;
+use branchnet_core::config::BranchNetConfig;
+use branchnet_core::dataset::extract;
+use branchnet_core::quantize::{QuantMode, QuantizedMini};
+use branchnet_core::selection::{assign_budget, rank_hard_branches, BudgetItem, PipelineOptions};
+use branchnet_core::storage::storage_breakdown;
+use branchnet_core::trainer::train_model;
+use branchnet_tage::TageSclConfig;
+use branchnet_trace::TraceSet;
+
+/// One branch's trained menu entry.
+struct MenuEntry {
+    quant: QuantizedMini,
+    bytes: usize,
+}
+
+/// A budgeted pack of quantized models ready to attach as engines.
+pub struct MiniPack {
+    /// `(pc, quantized model)` selected under the budget.
+    pub models: Vec<(u64, QuantizedMini)>,
+    /// Total storage of the selected models in bytes.
+    pub total_bytes: usize,
+}
+
+/// Trains the Mini menu for the top validation hard branches and
+/// solves the `budget_bytes` assignment.
+#[must_use]
+pub fn build_mini_pack(
+    traces: &TraceSet,
+    baseline: &TageSclConfig,
+    scale: &Scale,
+    budget_bytes: usize,
+) -> MiniPack {
+    build_pack_with_menu(traces, baseline, scale, budget_bytes, &BranchNetConfig::mini_menu())
+}
+
+/// Like [`build_mini_pack`] but with an explicit config menu (used for
+/// Tarsa-Ternary, whose "menu" is a single config).
+#[must_use]
+pub fn build_pack_with_menu(
+    traces: &TraceSet,
+    baseline: &TageSclConfig,
+    scale: &Scale,
+    budget_bytes: usize,
+    menu: &[(BranchNetConfig, usize)],
+) -> MiniPack {
+    let opts: PipelineOptions = scale.pipeline_options();
+    let (pcs, stats) = rank_hard_branches(baseline, &traces.valid, opts.candidates);
+
+    // Train the full menu per candidate and score quantized accuracy.
+    let mut items: Vec<BudgetItem> = Vec::new();
+    let mut menus: Vec<Vec<Option<MenuEntry>>> = Vec::new();
+    for &pc in &pcs {
+        let Some(base_stats) = stats.get(pc) else { continue };
+        let base_acc = base_stats.accuracy();
+        let occurrences = base_stats.predictions();
+        let mut entries: Vec<Option<MenuEntry>> = Vec::new();
+        let mut choices: Vec<(usize, f64)> = Vec::new();
+        for (config, _nominal) in menu {
+            let train_ds = extract(&traces.train, pc, config.window_len(), config.pc_bits);
+            if train_ds.len() < opts.min_occurrences {
+                entries.push(None);
+                choices.push((usize::MAX / 4, f64::NEG_INFINITY));
+                continue;
+            }
+            let (model, _) = train_model(config, &train_ds, &opts.train);
+            let quant = QuantizedMini::from_model(&model);
+            let mut valid_ds = extract(&traces.valid, pc, config.window_len(), config.pc_bits);
+            valid_ds.subsample(opts.train.max_examples);
+            let correct = valid_ds
+                .examples
+                .iter()
+                .filter(|e| quant.predict(&e.window, QuantMode::Full) == (e.label >= 0.5))
+                .count();
+            let acc = if valid_ds.is_empty() {
+                0.0
+            } else {
+                correct as f64 / valid_ds.len() as f64
+            };
+            let avoided = occurrences * (acc - base_acc - opts.selection_margin);
+            let bytes = (storage_breakdown(config).total_bits() / 8) as usize;
+            entries.push(Some(MenuEntry { quant, bytes }));
+            choices.push((bytes, avoided));
+        }
+        items.push(BudgetItem { pc, choices });
+        menus.push(entries);
+    }
+
+    let picks = assign_budget(&items, budget_bytes);
+    let mut models = Vec::new();
+    let mut total_bytes = 0usize;
+    for ((item, pick), entries) in items.iter().zip(&picks).zip(menus.into_iter()) {
+        if let Some(ci) = pick {
+            if let Some(entry) = entries.into_iter().nth(*ci).flatten() {
+                total_bytes += entry.bytes;
+                models.push((item.pc, entry.quant));
+            }
+        }
+    }
+    MiniPack { models, total_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::trace_set;
+    use branchnet_workloads::spec::Benchmark;
+
+    #[test]
+    fn pack_respects_budget_and_finds_models() {
+        let scale =
+            Scale { branches_per_trace: 20_000, candidates: 4, epochs: 6, max_examples: 800 };
+        let traces = trace_set(Benchmark::Xz, &scale);
+        let baseline = TageSclConfig::tage_sc_l_64kb();
+        let budget = 8 * 1024;
+        let pack = build_mini_pack(&traces, &baseline, &scale, budget);
+        assert!(pack.total_bytes <= budget + 64 * pack.models.len(), "budget exceeded");
+        assert!(!pack.models.is_empty(), "xz has count-correlated branches a pack must find");
+    }
+}

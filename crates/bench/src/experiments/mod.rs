@@ -1,0 +1,14 @@
+//! One module per paper table/figure. Every module exposes
+//! `run(&Scale) -> ...` returning structured rows and a `render`
+//! function producing the paper-style text the `src/bin/` wrappers
+//! print.
+
+pub mod fig01_headroom;
+pub mod fig04_motivating;
+pub mod fig09_headroom_mpki;
+pub mod fig10_branch_accuracy;
+pub mod fig11_practical;
+pub mod fig12_trainset;
+pub mod fig13_budget;
+pub mod mini_pack;
+pub mod tables;

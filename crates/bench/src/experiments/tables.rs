@@ -1,0 +1,233 @@
+//! Tables I–IV.
+//!
+//! * Table I — architecture knobs of every configuration (static).
+//! * Table II — inference-engine storage breakdown (computed).
+//! * Table III — workload input partitioning (static).
+//! * Table IV — leela's MPKI-reduction ladder from Big-BranchNet down
+//!   to fully-quantized Mini-BranchNet (measured).
+
+use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use branchnet_core::config::BranchNetConfig;
+use branchnet_core::engine::InferenceEngine;
+use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
+use branchnet_core::quantize::QuantizedMini;
+use branchnet_core::selection::offline_train;
+use branchnet_core::storage::storage_breakdown;
+use branchnet_tage::TageSclConfig;
+use branchnet_workloads::spec::{Benchmark, SpecSuite};
+
+/// Renders Table I: every preset's knobs.
+#[must_use]
+pub fn table1() -> String {
+    let configs = [
+        BranchNetConfig::big(),
+        BranchNetConfig::big_scaled(),
+        BranchNetConfig::mini_2kb(),
+        BranchNetConfig::mini_1kb(),
+        BranchNetConfig::mini_05kb(),
+        BranchNetConfig::mini_025kb(),
+        BranchNetConfig::tarsa_float(),
+        BranchNetConfig::tarsa_ternary(),
+    ];
+    let mut out = String::from("Table I — architecture knobs\n");
+    for c in &configs {
+        let hist: Vec<usize> = c.slices.iter().map(|s| s.history).collect();
+        let chans: Vec<usize> = c.slices.iter().map(|s| s.channels).collect();
+        let pools: Vec<usize> = c.slices.iter().map(|s| s.pool_width).collect();
+        let precise: Vec<&str> =
+            c.slices.iter().map(|s| if s.precise_pooling { "Y" } else { "N" }).collect();
+        out.push_str(&format!(
+            "{:<12} H={:?} C={:?} P={:?} precise={:?} p={} h={:?} E={} K={} N={:?} q={:?}\n",
+            c.name,
+            hist,
+            chans,
+            pools,
+            precise,
+            c.pc_bits,
+            c.conv_hash_bits,
+            c.embedding_dim,
+            c.conv_width,
+            c.hidden,
+            c.fc_quant_bits
+        ));
+    }
+    out
+}
+
+/// Renders Table II: storage breakdown per Mini preset.
+#[must_use]
+pub fn table2() -> String {
+    let mut out = String::from(
+        "Table II — Mini-BranchNet inference-engine storage per static branch\n\
+         config        conv-tables  precise-pool  sliding-pool  fully-connected  total\n",
+    );
+    for (cfg, _) in BranchNetConfig::mini_menu() {
+        let b = storage_breakdown(&cfg);
+        out.push_str(&format!(
+            "{:<12}  {:>8.3}KB   {:>8.3}KB    {:>8.3}KB    {:>8.3}KB     {:>6.3}KB\n",
+            cfg.name,
+            b.conv_tables_bits as f64 / 8192.0,
+            b.precise_pooling_bits as f64 / 8192.0,
+            b.sliding_pooling_bits as f64 / 8192.0,
+            b.fully_connected_bits as f64 / 8192.0,
+            b.total_kb()
+        ));
+    }
+    out
+}
+
+/// Renders Table III: the input partition of every workload.
+#[must_use]
+pub fn table3() -> String {
+    let mut out = String::from("Table III — workload input partitioning (train / valid / test)\n");
+    for w in SpecSuite::all() {
+        let parts = w.inputs();
+        let fmt = |v: &[branchnet_workloads::program::ProgramInput]| {
+            v.iter()
+                .map(|i| format!("{}(p={},s={})", i.label, i.knob(0, 0.0), i.knob(1, 0.0)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!(
+            "{:<12} train: {} | valid: {} | test: {}\n",
+            w.name(),
+            fmt(&parts.train),
+            fmt(&parts.valid),
+            fmt(&parts.test)
+        ));
+    }
+    out
+}
+
+/// One rung of the Table IV quantization ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Rung label.
+    pub label: &'static str,
+    /// MPKI reduction over the baseline (%).
+    pub mpki_reduction_pct: f64,
+}
+
+/// Measures the Table IV ladder on one benchmark (the paper uses
+/// leela).
+#[must_use]
+pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
+    let baseline = TageSclConfig::tage_sc_l_64kb().without_sc_local();
+    let traces = trace_set(bench, scale);
+    let base = baseline_mpki(&baseline, &traces);
+    let reduction = |mpki: f64| if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 };
+
+    // Rung 1: Big-BranchNet, no capacity limit.
+    let big_pack = offline_train(
+        &BranchNetConfig::big_scaled(),
+        &baseline,
+        &traces,
+        &scale.pipeline_options(),
+    );
+    let big_pcs: Vec<u64> = big_pack.iter().map(|(r, _)| r.pc).collect();
+    let mut hybrid = HybridPredictor::new(&baseline);
+    for (r, m) in big_pack {
+        hybrid.attach(r.pc, AttachedModel::Float(m));
+    }
+    let big_all = reduction(hybrid_test_mpki(&mut hybrid, &traces));
+
+    // Mini models (2 KB config) for the same branches.
+    let mini_cfg = BranchNetConfig::mini_2kb();
+    let mini_pack = offline_train(&mini_cfg, &baseline, &traces, &scale.pipeline_options());
+    let mini_pcs: Vec<u64> = mini_pack.iter().map(|(r, _)| r.pc).collect();
+
+    // Rung 2: Big restricted to the branches Mini covers.
+    let big_same = {
+        let pack = offline_train(
+            &BranchNetConfig::big_scaled(),
+            &baseline,
+            &traces,
+            &scale.pipeline_options(),
+        );
+        let mut hybrid = HybridPredictor::new(&baseline);
+        for (r, m) in pack {
+            if mini_pcs.contains(&r.pc) {
+                hybrid.attach(r.pc, AttachedModel::Float(m));
+            }
+        }
+        reduction(hybrid_test_mpki(&mut hybrid, &traces))
+    };
+    let _ = big_pcs;
+
+    // Rungs 3–5 share the same trained Mini float models.
+    let mut float_hybrid = HybridPredictor::new(&baseline);
+    let mut conv_hybrid = HybridPredictor::new(&baseline);
+    let mut full_hybrid = HybridPredictor::new(&baseline);
+    for (r, m) in mini_pack {
+        let quant = QuantizedMini::from_model(&m);
+        conv_hybrid.attach(r.pc, AttachedModel::ConvQuant(quant.clone()));
+        full_hybrid.attach(r.pc, AttachedModel::Engine(InferenceEngine::new(quant)));
+        float_hybrid.attach(r.pc, AttachedModel::Float(m));
+    }
+    let mini_float = reduction(hybrid_test_mpki(&mut float_hybrid, &traces));
+    let mini_conv = reduction(hybrid_test_mpki(&mut conv_hybrid, &traces));
+    let mini_full = reduction(hybrid_test_mpki(&mut full_hybrid, &traces));
+
+    vec![
+        Table4Row { label: "Big-BranchNet: no branch capacity limit", mpki_reduction_pct: big_all },
+        Table4Row { label: "Big-BranchNet: same branches as Mini", mpki_reduction_pct: big_same },
+        Table4Row { label: "Mini-BranchNet: floating-point", mpki_reduction_pct: mini_float },
+        Table4Row { label: "Mini-BranchNet: quantized convolution", mpki_reduction_pct: mini_conv },
+        Table4Row { label: "Mini-BranchNet: fully-quantized", mpki_reduction_pct: mini_full },
+    ]
+}
+
+/// Paper-style rendering of Table IV.
+#[must_use]
+pub fn render_table4(bench: Benchmark, rows: &[Table4Row]) -> String {
+    let mut out = format!("Table IV — MPKI-reduction progression on {}\n", bench.name());
+    for r in rows {
+        out.push_str(&format!("{:<45} {:>6.1}%\n", r.label, r.mpki_reduction_pct));
+    }
+    out.push_str("(paper, leela: 35.8 / 25.1 / 20.0 / 18.7 / 15.7%)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_presets() {
+        let t = table1();
+        for name in ["big", "mini-2kb", "mini-1kb", "mini-0.5kb", "mini-0.25kb", "tarsa-ternary"] {
+            assert!(t.contains(name), "missing {name} in table I");
+        }
+    }
+
+    #[test]
+    fn table2_totals_near_nominal() {
+        let t = table2();
+        assert!(t.contains("mini-1kb"));
+        assert!(t.lines().count() >= 6);
+    }
+
+    #[test]
+    fn table3_covers_all_benchmarks() {
+        let t = table3();
+        for b in Benchmark::all() {
+            assert!(t.contains(b.name()));
+        }
+    }
+
+    #[test]
+    fn table4_ladder_decreases_from_big_to_quantized() {
+        let scale =
+            Scale { branches_per_trace: 20_000, candidates: 4, epochs: 8, max_examples: 1_200 };
+        let rows = table4(&scale, Benchmark::Xz);
+        assert_eq!(rows.len(), 5);
+        // Shape: Big (no cap) is the ceiling; fully-quantized is below
+        // Mini float (quantization costs accuracy); everything stays
+        // positive on a friendly benchmark.
+        assert!(rows[0].mpki_reduction_pct > 0.0, "{rows:?}");
+        assert!(
+            rows[4].mpki_reduction_pct <= rows[2].mpki_reduction_pct + 2.0,
+            "fully-quantized should not beat float Mini by more than noise: {rows:?}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Shared experiment plumbing.
+
+use branchnet_core::config::BranchNetConfig;
+use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
+use branchnet_core::selection::{offline_train, CandidateResult, PipelineOptions};
+use branchnet_core::trainer::TrainOptions;
+use branchnet_tage::{evaluate, Predictor, TageScL, TageSclConfig};
+use branchnet_trace::{PredictionStats, Trace, TraceSet};
+use branchnet_workloads::spec::{Benchmark, SpecSuite};
+
+/// Experiment sizing profile. `quick` (the default) runs in minutes on
+/// a laptop; `full` uses longer traces and more candidates/epochs.
+/// Selected via the `BRANCHNET_SCALE` environment variable
+/// (`quick`/`full`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Branches generated per trace (per input).
+    pub branches_per_trace: usize,
+    /// Hard-branch candidates considered per benchmark.
+    pub candidates: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Training-example cap per branch.
+    pub max_examples: usize,
+}
+
+impl Scale {
+    /// The fast profile.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { branches_per_trace: 40_000, candidates: 6, epochs: 10, max_examples: 1_500 }
+    }
+
+    /// The thorough profile.
+    #[must_use]
+    pub fn full() -> Self {
+        Self { branches_per_trace: 200_000, candidates: 16, epochs: 24, max_examples: 4_000 }
+    }
+
+    /// Reads `BRANCHNET_SCALE` (default `quick`).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("BRANCHNET_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            _ => Self::quick(),
+        }
+    }
+
+    /// Training options derived from this scale.
+    #[must_use]
+    pub fn train_options(&self) -> TrainOptions {
+        TrainOptions {
+            epochs: self.epochs,
+            lr: 0.02,
+            max_examples: self.max_examples,
+            ..TrainOptions::default()
+        }
+    }
+
+    /// Pipeline options derived from this scale.
+    #[must_use]
+    pub fn pipeline_options(&self) -> PipelineOptions {
+        PipelineOptions {
+            candidates: self.candidates,
+            train: self.train_options(),
+            ..PipelineOptions::default()
+        }
+    }
+}
+
+/// Generates the Table III trace set for one benchmark at this scale.
+#[must_use]
+pub fn trace_set(bench: Benchmark, scale: &Scale) -> TraceSet {
+    SpecSuite::benchmark(bench).trace_set(scale.branches_per_trace)
+}
+
+/// Weighted test-set statistics of a predictor built fresh per trace
+/// (per-SimPoint cold-start evaluation, as in the paper).
+pub fn test_stats<F>(traces: &TraceSet, mut build: F) -> PredictionStats
+where
+    F: FnMut() -> Box<dyn Predictor>,
+{
+    traces.weighted_test_stats(|t: &Trace| {
+        let mut p = build();
+        evaluate(p.as_mut(), t)
+    })
+}
+
+/// MPKI of a TAGE-SC-L configuration on the test traces.
+#[must_use]
+pub fn baseline_mpki(cfg: &TageSclConfig, traces: &TraceSet) -> f64 {
+    let cfg = cfg.clone();
+    test_stats(traces, || Box::new(TageScL::new(&cfg))).mpki()
+}
+
+/// A trained model pack for one benchmark: the per-branch float models
+/// kept by the offline pipeline.
+pub struct TrainedPack {
+    /// Candidate scores and trained models, best first.
+    pub models: Vec<(CandidateResult, branchnet_core::model::BranchNetModel)>,
+}
+
+/// Runs the offline pipeline for `bench` with `config` models.
+#[must_use]
+pub fn train_pack(
+    config: &BranchNetConfig,
+    baseline: &TageSclConfig,
+    traces: &TraceSet,
+    scale: &Scale,
+) -> TrainedPack {
+    TrainedPack { models: offline_train(config, baseline, traces, &scale.pipeline_options()) }
+}
+
+/// Consumes a pack's top `limit` models into a hybrid and returns its
+/// weighted test MPKI. The baseline and engine runtime state reset
+/// per trace (cold-start per SimPoint); the frozen CNN weights are
+/// shared, exactly like deployed BranchNet models (Section V-E).
+#[must_use]
+pub fn hybrid_mpki_float(
+    pack: TrainedPack,
+    baseline: &TageSclConfig,
+    traces: &TraceSet,
+    limit: usize,
+) -> f64 {
+    let mut hybrid = HybridPredictor::new(baseline);
+    for (r, m) in pack.models.into_iter().take(limit) {
+        hybrid.attach(r.pc, AttachedModel::Float(m));
+    }
+    hybrid_test_mpki(&mut hybrid, traces)
+}
+
+/// Weighted test MPKI of an already-assembled hybrid, resetting
+/// runtime state before each trace.
+#[must_use]
+pub fn hybrid_test_mpki(hybrid: &mut HybridPredictor, traces: &TraceSet) -> f64 {
+    let mut agg = PredictionStats::new();
+    for t in &traces.test {
+        hybrid.reset_runtime_state();
+        agg.merge_weighted(&evaluate(hybrid, t), t.weight());
+    }
+    agg.mpki()
+}
+
+/// Formats an MPKI pair as the paper's "reduction" percentage.
+#[must_use]
+pub fn reduction_pct(baseline: f64, improved: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        100.0 * (baseline - improved) / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        std::env::remove_var("BRANCHNET_SCALE");
+        assert_eq!(Scale::from_env(), Scale::quick());
+    }
+
+    #[test]
+    fn reduction_pct_basics() {
+        assert!((reduction_pct(4.0, 3.0) - 25.0).abs() < 1e-9);
+        assert_eq!(reduction_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn trace_set_has_table3_shape() {
+        let ts = trace_set(Benchmark::Xz, &Scale { branches_per_trace: 2_000, candidates: 2, epochs: 1, max_examples: 100 });
+        assert_eq!((ts.train.len(), ts.valid.len(), ts.test.len()), (3, 2, 3));
+    }
+}

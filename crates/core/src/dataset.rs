@@ -1,0 +1,172 @@
+//! Per-branch training-example extraction.
+//!
+//! For every dynamic occurrence of a target static branch, the dataset
+//! captures the `max_history` most recent encoded branches (oldest →
+//! newest, zero-padded on the old side) and the resolved direction as
+//! the label — the exact input/output pair BranchNet trains on
+//! (Section III-B).
+
+use branchnet_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// One training example: an encoded history window and the branch
+/// outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Example {
+    /// Encoded `(PC, direction)` history, oldest first, zero-padded at
+    /// the front; length = the dataset's `max_history`.
+    pub window: Vec<u32>,
+    /// 1.0 = taken, 0.0 = not taken.
+    pub label: f32,
+}
+
+/// All examples extracted for one static branch.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BranchDataset {
+    /// The static branch these examples belong to.
+    pub pc: u64,
+    /// History length of each example window.
+    pub max_history: usize,
+    /// The examples, in trace order.
+    pub examples: Vec<Example>,
+}
+
+impl BranchDataset {
+    /// Fraction of taken labels (for bias diagnostics).
+    #[must_use]
+    pub fn taken_rate(&self) -> f64 {
+        if self.examples.is_empty() {
+            return 0.0;
+        }
+        self.examples.iter().map(|e| f64::from(e.label)).sum::<f64>() / self.examples.len() as f64
+    }
+
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether no examples were extracted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Uniformly subsamples down to at most `cap` examples (keeps every
+    /// k-th example to preserve phase coverage rather than a prefix).
+    pub fn subsample(&mut self, cap: usize) {
+        if self.examples.len() > cap && cap > 0 {
+            let stride = self.examples.len() as f64 / cap as f64;
+            let picked: Vec<Example> = (0..cap)
+                .map(|i| self.examples[(i as f64 * stride) as usize].clone())
+                .collect();
+            self.examples = picked;
+        }
+    }
+}
+
+/// Extracts the dataset for `pc` from `traces`, with windows of
+/// `max_history` encoded entries of `pc_bits`-bit PCs.
+///
+/// Only conditional branches enter the history (matching the predictor
+/// configuration used throughout this workspace).
+#[must_use]
+pub fn extract(traces: &[Trace], pc: u64, max_history: usize, pc_bits: u32) -> BranchDataset {
+    let mut ds = BranchDataset { pc, max_history, examples: Vec::new() };
+    for trace in traces {
+        // Rolling encoded history for this trace.
+        let mut hist: Vec<u32> = Vec::with_capacity(trace.len());
+        for r in trace.iter().filter(|r| r.kind.is_conditional()) {
+            if r.pc == pc {
+                let mut window = vec![0u32; max_history];
+                let have = hist.len().min(max_history);
+                window[max_history - have..].copy_from_slice(&hist[hist.len() - have..]);
+                ds.examples.push(Example { window, label: f32::from(u8::from(r.taken)) });
+            }
+            hist.push(r.encode(pc_bits));
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchnet_trace::BranchRecord;
+
+    fn trace_with_target() -> Trace {
+        // Pattern: two setup branches then the target, repeated.
+        let mut t = Trace::new();
+        for i in 0..10u64 {
+            t.push(BranchRecord::conditional(0x10, i % 2 == 0));
+            t.push(BranchRecord::conditional(0x20, true));
+            t.push(BranchRecord::conditional(0x99, i % 2 == 0));
+        }
+        t
+    }
+
+    #[test]
+    fn windows_exclude_the_predicted_branch_itself() {
+        let ds = extract(&[trace_with_target()], 0x99, 4, 8);
+        assert_eq!(ds.len(), 10);
+        // First example: only two entries of context, zero-padded.
+        let w = &ds.examples[0].window;
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], 0);
+        assert_eq!(w[1], 0);
+        assert_eq!(w[2], BranchRecord::conditional(0x10, true).encode(8));
+        assert_eq!(w[3], BranchRecord::conditional(0x20, true).encode(8));
+    }
+
+    #[test]
+    fn labels_match_directions() {
+        let ds = extract(&[trace_with_target()], 0x99, 4, 8);
+        for (i, e) in ds.examples.iter().enumerate() {
+            assert_eq!(e.label, if i % 2 == 0 { 1.0 } else { 0.0 });
+        }
+    }
+
+    #[test]
+    fn window_is_oldest_to_newest() {
+        let ds = extract(&[trace_with_target()], 0x99, 6, 8);
+        // Later examples have full 6-entry context; the newest entry
+        // must be branch 0x20 (emitted immediately before the target).
+        let w = &ds.examples[5].window;
+        assert_eq!(w[5], BranchRecord::conditional(0x20, true).encode(8));
+    }
+
+    #[test]
+    fn multiple_traces_concatenate_without_history_leak() {
+        let t = trace_with_target();
+        let ds = extract(&[t.clone(), t], 0x99, 4, 8);
+        assert_eq!(ds.len(), 20);
+        // The 11th example (first of the second trace) must again be
+        // zero-padded: history does not leak across traces.
+        assert_eq!(ds.examples[10].window[0], 0);
+        assert_eq!(ds.examples[10].window[1], 0);
+    }
+
+    #[test]
+    fn taken_rate_counts_labels() {
+        let ds = extract(&[trace_with_target()], 0x99, 4, 8);
+        assert!((ds.taken_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subsample_preserves_spread() {
+        let mut ds = extract(&[trace_with_target()], 0x99, 4, 8);
+        ds.subsample(4);
+        assert_eq!(ds.len(), 4);
+        // Labels alternate in the original; a strided sample keeps a
+        // mix rather than one phase... (indices 0, 2, 5, 7).
+        let labels: Vec<f32> = ds.examples.iter().map(|e| e.label).collect();
+        assert!(labels.contains(&0.0) && labels.contains(&1.0));
+    }
+
+    #[test]
+    fn missing_branch_yields_empty_dataset() {
+        let ds = extract(&[trace_with_target()], 0xDEAD, 4, 8);
+        assert!(ds.is_empty());
+    }
+}

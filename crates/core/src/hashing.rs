@@ -1,0 +1,113 @@
+//! The hashed-convolution input function (paper Section V-B,
+//! Optimization 2).
+//!
+//! Mini-BranchNet replaces arithmetic convolution over embeddings with
+//! a lookup table indexed by a hash of the `K` most recent encoded
+//! branches. Training and the on-chip engine must agree bit-for-bit on
+//! this function, so it lives here and is used by both.
+
+/// Hashes the `k` encoded history entries ending at `end` (inclusive)
+/// into `h_bits` bits. Entries before the start of `entries` are
+/// treated as zero (the same zero-padding the dataset extraction
+/// applies to short histories).
+///
+/// # Panics
+///
+/// Panics if `end >= entries.len()`, `k == 0`, or `h_bits` is not in
+/// `1..=31`.
+///
+/// ```
+/// use branchnet_core::hashing::conv_hash;
+/// let entries = [3u32, 9, 12, 5];
+/// let a = conv_hash(&entries, 3, 3, 8);
+/// let b = conv_hash(&entries, 3, 3, 8);
+/// assert_eq!(a, b);
+/// assert!(a < 256);
+/// ```
+#[must_use]
+pub fn conv_hash(entries: &[u32], end: usize, k: usize, h_bits: u32) -> u32 {
+    assert!(end < entries.len(), "window end out of range");
+    assert!(k > 0, "window width must be positive");
+    assert!((1..=31).contains(&h_bits));
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for j in 0..k {
+        let age = k - 1 - j;
+        let v = if age > end { 0 } else { entries[end - age] };
+        h ^= u64::from(v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= h >> 33;
+    }
+    (h >> 7) as u32 & ((1u32 << h_bits) - 1)
+}
+
+/// Hashes every position of a history window: output `t` is the hash
+/// of the `k` entries ending at position `t`. The result has
+/// `entries.len()` ids and feeds the Mini-BranchNet convolution table.
+#[must_use]
+pub fn conv_hash_sequence(entries: &[u32], k: usize, h_bits: u32) -> Vec<u32> {
+    (0..entries.len()).map(|t| conv_hash(entries, t, k, h_bits)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_windows_hash_differently() {
+        let a = conv_hash(&[1, 2, 3], 2, 3, 12);
+        let b = conv_hash(&[1, 2, 4], 2, 3, 12);
+        let c = conv_hash(&[4, 2, 3], 2, 3, 12);
+        assert_ne!(a, b, "newest entry must matter");
+        assert_ne!(a, c, "oldest entry must matter");
+    }
+
+    #[test]
+    fn direction_bit_changes_hash() {
+        // Encoded entries differ only in the direction (low) bit.
+        let taken = conv_hash(&[0b1101], 0, 1, 8);
+        let not_taken = conv_hash(&[0b1100], 0, 1, 8);
+        assert_ne!(taken, not_taken);
+    }
+
+    #[test]
+    fn out_of_range_ages_read_zero() {
+        // Hash at position 0 with k=3 pads two zeros; equivalent to an
+        // explicit zero-padded buffer.
+        let short = conv_hash(&[7], 0, 3, 10);
+        let padded = conv_hash(&[0, 0, 7], 2, 3, 10);
+        assert_eq!(short, padded);
+    }
+
+    #[test]
+    fn sequence_matches_pointwise_hash() {
+        let entries = [5u32, 1, 9, 9, 2, 0, 4];
+        let seq = conv_hash_sequence(&entries, 3, 9);
+        assert_eq!(seq.len(), entries.len());
+        for (t, &id) in seq.iter().enumerate() {
+            assert_eq!(id, conv_hash(&entries, t, 3, 9));
+        }
+    }
+
+    #[test]
+    fn hash_respects_bit_width() {
+        for h_bits in [2u32, 7, 8, 12] {
+            for end in 0..8usize {
+                let entries: Vec<u32> = (0..8).map(|i| i * 37 + 5).collect();
+                let id = conv_hash(&entries, end, 7, h_bits);
+                assert!(id < (1 << h_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spreads_over_table() {
+        // 256 random-ish windows should hit a healthy fraction of a
+        // 256-entry table.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..256u32 {
+            let entries = [i * 2654435761 % 8192, i, i ^ 0x55];
+            seen.insert(conv_hash(&entries, 2, 3, 8));
+        }
+        assert!(seen.len() > 140, "only {} distinct buckets", seen.len());
+    }
+}

@@ -1,0 +1,453 @@
+//! Model files: serializing quantized models for deployment.
+//!
+//! The paper's system story (Section V-F) attaches trained BranchNet
+//! models to the program binary; the OS loads them into the on-chip
+//! engine at load time or on context switches. This module defines
+//! that artifact: a compact, versioned binary encoding of a
+//! [`QuantizedMini`] plus its target branch PC.
+//!
+//! ```text
+//! magic "BNMD" | version u8 | pc u64 | config ... | tables ...
+//! ```
+
+use crate::config::{BranchNetConfig, SliceConfig};
+use crate::quantize::QuantizedMini;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BNMD";
+const VERSION: u8 = 1;
+
+/// Errors from reading a model file.
+#[derive(Debug)]
+pub enum ReadModelError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a model file.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u8),
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ReadModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadModelError::Io(e) => write!(f, "i/o error reading model: {e}"),
+            ReadModelError::BadMagic => write!(f, "not a BranchNet model file"),
+            ReadModelError::BadVersion(v) => write!(f, "unsupported model version {v}"),
+            ReadModelError::Corrupt(what) => write!(f, "corrupt model file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadModelError {
+    fn from(e: io::Error) -> Self {
+        ReadModelError::Io(e)
+    }
+}
+
+struct Enc<W: Write>(W);
+
+impl<W: Write> Enc<W> {
+    fn u8(&mut self, v: u8) -> io::Result<()> {
+        self.0.write_all(&[v])
+    }
+    fn u32(&mut self, v: u32) -> io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn i64(&mut self, v: i64) -> io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn f32(&mut self, v: f32) -> io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn str(&mut self, s: &str) -> io::Result<()> {
+        self.u32(s.len() as u32)?;
+        self.0.write_all(s.as_bytes())
+    }
+    fn f32s(&mut self, v: &[f32]) -> io::Result<()> {
+        self.u32(v.len() as u32)?;
+        for &x in v {
+            self.f32(x)?;
+        }
+        Ok(())
+    }
+    fn i8s(&mut self, v: &[i8]) -> io::Result<()> {
+        self.u32(v.len() as u32)?;
+        for &x in v {
+            self.u8(x as u8)?;
+        }
+        Ok(())
+    }
+    fn i32s(&mut self, v: &[i32]) -> io::Result<()> {
+        self.u32(v.len() as u32)?;
+        for &x in v {
+            self.u32(x as u32)?;
+        }
+        Ok(())
+    }
+    fn bools(&mut self, v: &[bool]) -> io::Result<()> {
+        self.u32(v.len() as u32)?;
+        // Bit-packed: the final-layer LUT is exactly this in hardware.
+        let mut byte = 0u8;
+        for (i, &b) in v.iter().enumerate() {
+            byte |= u8::from(b) << (i % 8);
+            if i % 8 == 7 {
+                self.u8(byte)?;
+                byte = 0;
+            }
+        }
+        if v.len() % 8 != 0 {
+            self.u8(byte)?;
+        }
+        Ok(())
+    }
+}
+
+struct Dec<R: Read>(R);
+
+impl<R: Read> Dec<R> {
+    fn u8(&mut self) -> Result<u8, ReadModelError> {
+        let mut b = [0u8; 1];
+        self.0.read_exact(&mut b)?;
+        Ok(b[0])
+    }
+    fn u32(&mut self) -> Result<u32, ReadModelError> {
+        let mut b = [0u8; 4];
+        self.0.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64, ReadModelError> {
+        let mut b = [0u8; 8];
+        self.0.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn i64(&mut self) -> Result<i64, ReadModelError> {
+        Ok(self.u64()? as i64)
+    }
+    fn f32(&mut self) -> Result<f32, ReadModelError> {
+        let mut b = [0u8; 4];
+        self.0.read_exact(&mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+    fn len(&mut self) -> Result<usize, ReadModelError> {
+        let n = self.u32()? as usize;
+        if n > 1 << 28 {
+            return Err(ReadModelError::Corrupt("implausible array length"));
+        }
+        Ok(n)
+    }
+    fn str(&mut self) -> Result<String, ReadModelError> {
+        let n = self.len()?;
+        let mut buf = vec![0u8; n];
+        self.0.read_exact(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| ReadModelError::Corrupt("string not utf-8"))
+    }
+    fn f32s(&mut self) -> Result<Vec<f32>, ReadModelError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+    fn i8s(&mut self) -> Result<Vec<i8>, ReadModelError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.u8().map(|v| v as i8)).collect()
+    }
+    fn i32s(&mut self) -> Result<Vec<i32>, ReadModelError> {
+        let n = self.len()?;
+        (0..n).map(|_| self.u32().map(|v| v as i32)).collect()
+    }
+    fn bools(&mut self) -> Result<Vec<bool>, ReadModelError> {
+        let n = self.len()?;
+        let mut out = Vec::with_capacity(n);
+        let mut byte = 0u8;
+        for i in 0..n {
+            if i % 8 == 0 {
+                byte = self.u8()?;
+            }
+            out.push(byte >> (i % 8) & 1 == 1);
+        }
+        Ok(out)
+    }
+}
+
+fn write_config<W: Write>(e: &mut Enc<W>, c: &BranchNetConfig) -> io::Result<()> {
+    e.str(&c.name)?;
+    e.u32(c.slices.len() as u32)?;
+    for s in &c.slices {
+        e.u32(s.history as u32)?;
+        e.u32(s.channels as u32)?;
+        e.u32(s.pool_width as u32)?;
+        e.u8(u8::from(s.precise_pooling))?;
+    }
+    e.u32(c.pc_bits)?;
+    e.u32(c.conv_hash_bits.map_or(u32::MAX, |h| h))?;
+    e.u32(c.embedding_dim as u32)?;
+    e.u32(c.conv_width as u32)?;
+    e.u32(c.hidden.len() as u32)?;
+    for &h in &c.hidden {
+        e.u32(h as u32)?;
+    }
+    e.u32(c.fc_quant_bits.map_or(u32::MAX, |q| q))?;
+    e.u8(u8::from(c.tanh_activations))
+}
+
+fn read_config<R: Read>(d: &mut Dec<R>) -> Result<BranchNetConfig, ReadModelError> {
+    let name = d.str()?;
+    let n_slices = d.len()?;
+    let mut slices = Vec::with_capacity(n_slices);
+    for _ in 0..n_slices {
+        slices.push(SliceConfig {
+            history: d.u32()? as usize,
+            channels: d.u32()? as usize,
+            pool_width: d.u32()? as usize,
+            precise_pooling: d.u8()? != 0,
+        });
+    }
+    let pc_bits = d.u32()?;
+    let conv_hash_bits = match d.u32()? {
+        u32::MAX => None,
+        h => Some(h),
+    };
+    let embedding_dim = d.u32()? as usize;
+    let conv_width = d.u32()? as usize;
+    let n_hidden = d.len()?;
+    let hidden = (0..n_hidden).map(|_| d.u32().map(|v| v as usize)).collect::<Result<_, _>>()?;
+    let fc_quant_bits = match d.u32()? {
+        u32::MAX => None,
+        q => Some(q),
+    };
+    let tanh_activations = d.u8()? != 0;
+    Ok(BranchNetConfig {
+        name,
+        slices,
+        pc_bits,
+        conv_hash_bits,
+        embedding_dim,
+        conv_width,
+        hidden,
+        fc_quant_bits,
+        tanh_activations,
+    })
+}
+
+/// Writes a `(pc, model)` pair as a model file.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_model<W: Write>(w: W, pc: u64, model: &QuantizedMini) -> io::Result<()> {
+    let mut e = Enc(w);
+    e.0.write_all(MAGIC)?;
+    e.u8(VERSION)?;
+    e.u64(pc)?;
+    write_config(&mut e, model.config())?;
+    let p = model.parts();
+    e.u32(p.slices.len() as u32)?;
+    for s in p.slices {
+        e.i8s(s.sign_table)?;
+        e.f32s(s.bn2_scale)?;
+        e.f32s(s.bn2_shift)?;
+    }
+    e.u32(p.q)?;
+    e.f32s(p.fc1_w)?;
+    e.f32s(p.fc1_b)?;
+    e.f32s(p.bn3_scale)?;
+    e.f32s(p.bn3_shift)?;
+    e.f32s(p.out_w)?;
+    e.f32(p.out_b)?;
+    e.i32s(p.fc1_wq)?;
+    e.u32(p.thresholds.len() as u32)?;
+    for &(t, flipped) in p.thresholds {
+        e.i64(t)?;
+        e.u8(u8::from(flipped))?;
+    }
+    e.bools(p.lut)
+}
+
+/// Reads a model file back into a `(pc, model)` pair.
+///
+/// # Errors
+///
+/// Returns [`ReadModelError`] on I/O failure or malformed content.
+pub fn read_model<R: Read>(r: R) -> Result<(u64, QuantizedMini), ReadModelError> {
+    let mut d = Dec(r);
+    let mut magic = [0u8; 4];
+    d.0.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadModelError::BadMagic);
+    }
+    let version = d.u8()?;
+    if version != VERSION {
+        return Err(ReadModelError::BadVersion(version));
+    }
+    let pc = d.u64()?;
+    let config = read_config(&mut d)?;
+    let n_slices = d.len()?;
+    if n_slices != config.slices.len() {
+        return Err(ReadModelError::Corrupt("slice count mismatch"));
+    }
+    let mut sign_tables = Vec::with_capacity(n_slices);
+    let mut bn2 = Vec::with_capacity(n_slices);
+    for s in &config.slices {
+        let table = d.i8s()?;
+        let expected = s.channels << config.conv_hash_bits.ok_or(ReadModelError::Corrupt(
+            "model files require hashed configs",
+        ))?;
+        if table.len() != expected {
+            return Err(ReadModelError::Corrupt("sign table size mismatch"));
+        }
+        if table.iter().any(|&v| v != 1 && v != -1) {
+            return Err(ReadModelError::Corrupt("non-binary sign table entry"));
+        }
+        let scale = d.f32s()?;
+        let shift = d.f32s()?;
+        if scale.len() != s.channels || shift.len() != s.channels {
+            return Err(ReadModelError::Corrupt("bn2 size mismatch"));
+        }
+        sign_tables.push(table);
+        bn2.push((scale, shift));
+    }
+    let q = d.u32()?;
+    let fc1_w = d.f32s()?;
+    let fc1_b = d.f32s()?;
+    let bn3_scale = d.f32s()?;
+    let bn3_shift = d.f32s()?;
+    let out_w = d.f32s()?;
+    let out_b = d.f32()?;
+    let fc1_wq = d.i32s()?;
+    let n_thresh = d.len()?;
+    let mut thresholds = Vec::with_capacity(n_thresh);
+    for _ in 0..n_thresh {
+        let t = d.i64()?;
+        let flipped = d.u8()? != 0;
+        thresholds.push((t, flipped));
+    }
+    let lut = d.bools()?;
+    let model = QuantizedMini::from_parts(
+        config,
+        sign_tables,
+        bn2,
+        q,
+        fc1_w,
+        fc1_b,
+        bn3_scale,
+        bn3_shift,
+        out_w,
+        out_b,
+        fc1_wq,
+        thresholds,
+        lut,
+    )
+    .map_err(ReadModelError::Corrupt)?;
+    Ok((pc, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SliceConfig;
+    use crate::dataset::{BranchDataset, Example};
+    use crate::quantize::QuantMode;
+    use crate::trainer::{train_model, TrainOptions};
+
+    fn trained() -> QuantizedMini {
+        let cfg = BranchNetConfig {
+            name: "persist-test".into(),
+            slices: vec![
+                SliceConfig { history: 8, channels: 2, pool_width: 4, precise_pooling: true },
+                SliceConfig { history: 16, channels: 2, pool_width: 8, precise_pooling: false },
+            ],
+            pc_bits: 5,
+            conv_hash_bits: Some(6),
+            embedding_dim: 0,
+            conv_width: 3,
+            hidden: vec![4],
+            fc_quant_bits: Some(4),
+            tanh_activations: true,
+        };
+        let examples = (0..60u32)
+            .map(|i| Example {
+                window: (0..cfg.window_len() as u32).map(|j| (i * 11 + j * 3) % 64).collect(),
+                label: f32::from(u8::from(i % 2 == 0)),
+            })
+            .collect();
+        let ds = BranchDataset { pc: 9, max_history: cfg.window_len(), examples };
+        let (m, _) =
+            train_model(&cfg, &ds, &TrainOptions { epochs: 2, ..Default::default() });
+        QuantizedMini::from_model(&m)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let model = trained();
+        let mut buf = Vec::new();
+        write_model(&mut buf, 0x4200, &model).unwrap();
+        let (pc, back) = read_model(buf.as_slice()).unwrap();
+        assert_eq!(pc, 0x4200);
+        assert_eq!(back.config(), model.config());
+        for i in 0..50u32 {
+            let window: Vec<u32> =
+                (0..model.config().window_len() as u32).map(|j| (i * 7 + j) % 64).collect();
+            for mode in [QuantMode::ConvOnly, QuantMode::Full] {
+                assert_eq!(
+                    model.predict(&window, mode),
+                    back.predict(&window, mode),
+                    "prediction diverged after round trip"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(read_model(&b"XXXX0"[..]), Err(ReadModelError::BadMagic)));
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let model = trained();
+        let mut buf = Vec::new();
+        write_model(&mut buf, 1, &model).unwrap();
+        for cut in [4usize, 13, buf.len() / 3, buf.len() - 2] {
+            assert!(read_model(&buf[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_sign_table_rejected() {
+        let model = trained();
+        let mut buf = Vec::new();
+        write_model(&mut buf, 1, &model).unwrap();
+        // Flip a sign-table byte to an invalid value (0). The table
+        // starts after magic+version+pc+config; find a 0x01 byte in the
+        // first chunk and zero it.
+        let start = 50;
+        if let Some(pos) = buf[start..start + 200].iter().position(|&b| b == 1) {
+            buf[start + pos] = 0;
+            // Either a corrupt error or (if we hit a length/other
+            // field) some other clean error — never a panic.
+            let _ = read_model(buf.as_slice());
+        }
+    }
+
+    #[test]
+    fn model_file_is_reasonably_small() {
+        let model = trained();
+        let mut buf = Vec::new();
+        write_model(&mut buf, 1, &model).unwrap();
+        // Tiny test model: the file must be a few KB at most.
+        assert!(buf.len() < 8 * 1024, "{} bytes", buf.len());
+    }
+}

@@ -1,0 +1,173 @@
+//! Inference-engine storage accounting (paper Table II).
+//!
+//! The Mini-BranchNet engine stores, per attached static branch:
+//!
+//! * **Convolution tables** — one `2^h`-entry table per channel holding
+//!   the binarized convolution response of every possible hashed
+//!   `K`-branch window: `Σ_i C_i · 2^h` bits.
+//! * **Precise pooling buffers** — slices with prediction-aligned
+//!   windows keep the last `P_i` binary convolution outputs (to slide
+//!   the window) plus `H_i/P_i` q-bit window sums per channel:
+//!   `Σ_i C_i · (P_i + q·H_i/P_i)` bits.
+//! * **Sliding pooling buffers** — stream-aligned slices keep only
+//!   `H_i/P_i` completed q-bit sums, one q-bit running accumulator per
+//!   channel, and a shared `log2(P_i)` phase counter:
+//!   `Σ_i (C_i · q·(H_i/P_i + 1) + ⌈log2 P_i⌉)` bits.
+//! * **Fully-connected storage** — q-bit first-layer weights over all
+//!   pooled features plus an integer threshold per hidden neuron
+//!   (batch-norm fused, Optimization 4), and the final-layer lookup
+//!   table indexed by the binarized hidden vector:
+//!   `q·N·Σ_i C_i·H_i/P_i + 16·N + 2^N` bits.
+
+use crate::config::BranchNetConfig;
+use serde::{Deserialize, Serialize};
+
+/// Bit-level storage breakdown of one attached model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageBreakdown {
+    /// Convolution lookup tables.
+    pub conv_tables_bits: u64,
+    /// Precise pooling buffers.
+    pub precise_pooling_bits: u64,
+    /// Sliding pooling buffers.
+    pub sliding_pooling_bits: u64,
+    /// Fully-connected weights, thresholds, and final LUT.
+    pub fully_connected_bits: u64,
+}
+
+impl StorageBreakdown {
+    /// Total bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.conv_tables_bits
+            + self.precise_pooling_bits
+            + self.sliding_pooling_bits
+            + self.fully_connected_bits
+    }
+
+    /// Total in kilobytes.
+    #[must_use]
+    pub fn total_kb(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+/// Computes the Table II storage breakdown for a (quantized) config.
+///
+/// Float configs (Big, Tarsa-Float) are costed as if stored at 32-bit
+/// precision with arithmetic convolution state — they are software
+/// models, and this is only used to demonstrate why they are
+/// impractical.
+#[must_use]
+pub fn storage_breakdown(config: &BranchNetConfig) -> StorageBreakdown {
+    let q = u64::from(config.fc_quant_bits.unwrap_or(32));
+    let hidden = config.hidden[0] as u64;
+
+    let conv_tables_bits = match config.conv_hash_bits {
+        Some(h) => config.slices.iter().map(|s| (s.channels as u64) << h).sum(),
+        // Arithmetic convolution: embedding table + filters at float32.
+        None => {
+            let emb = (config.vocab() * config.embedding_dim) as u64 * 32;
+            let filt: u64 = config
+                .slices
+                .iter()
+                .map(|s| (s.channels * config.embedding_dim * config.conv_width) as u64 * 32)
+                .sum();
+            emb + filt
+        }
+    };
+
+    let mut precise = 0u64;
+    let mut sliding = 0u64;
+    for s in &config.slices {
+        let windows = (s.history / s.pool_width) as u64;
+        let c = s.channels as u64;
+        if s.precise_pooling {
+            precise += c * (s.pool_width as u64 + q * windows);
+        } else {
+            let phase = (usize::BITS - (s.pool_width - 1).leading_zeros()).max(1) as u64;
+            sliding += c * q * (windows + 1) + phase;
+        }
+    }
+
+    let fc1 = q * hidden * config.total_pooled() as u64;
+    let thresholds = 16 * hidden;
+    let lut = 1u64 << hidden.min(20);
+    // Deeper hidden stacks (not used by Mini presets) are costed as
+    // dense q-bit weights.
+    let extra: u64 = config
+        .hidden
+        .windows(2)
+        .map(|w| q * (w[0] * w[1]) as u64)
+        .sum();
+
+    StorageBreakdown {
+        conv_tables_bits,
+        precise_pooling_bits: precise,
+        sliding_pooling_bits: sliding,
+        fully_connected_bits: fc1 + thresholds + lut + extra,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_presets_land_near_their_nominal_budgets() {
+        for (cfg, budget_bytes) in BranchNetConfig::mini_menu() {
+            let kb = storage_breakdown(&cfg).total_kb();
+            let nominal = budget_bytes as f64 / 1024.0;
+            assert!(
+                kb > nominal * 0.5 && kb < nominal * 1.5,
+                "{} computes to {kb:.2} KB, nominal {nominal} KB",
+                cfg.name
+            );
+        }
+    }
+
+    #[test]
+    fn budgets_are_monotone_across_presets() {
+        let sizes: Vec<u64> = BranchNetConfig::mini_menu()
+            .iter()
+            .map(|(c, _)| storage_breakdown(c).total_bits())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] > w[1]), "{sizes:?}");
+    }
+
+    #[test]
+    fn big_is_impractically_large() {
+        let kb = storage_breakdown(&BranchNetConfig::big()).total_kb();
+        assert!(kb > 100.0, "Big-BranchNet must dwarf hardware budgets, got {kb:.1} KB");
+    }
+
+    #[test]
+    fn sliding_buffers_are_smaller_than_precise() {
+        // Section V-D: sliding sum-pooling is what makes long histories
+        // affordable. Compare one slice both ways.
+        let mut precise_cfg = BranchNetConfig::mini_1kb();
+        for s in &mut precise_cfg.slices {
+            s.precise_pooling = true;
+        }
+        let mut sliding_cfg = BranchNetConfig::mini_1kb();
+        for s in &mut sliding_cfg.slices {
+            s.precise_pooling = false;
+        }
+        let p = storage_breakdown(&precise_cfg);
+        let s = storage_breakdown(&sliding_cfg);
+        assert!(s.sliding_pooling_bits < p.precise_pooling_bits);
+        assert!(s.total_bits() < p.total_bits());
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total() {
+        let b = storage_breakdown(&BranchNetConfig::mini_2kb());
+        assert_eq!(
+            b.total_bits(),
+            b.conv_tables_bits
+                + b.precise_pooling_bits
+                + b.sliding_pooling_bits
+                + b.fully_connected_bits
+        );
+    }
+}

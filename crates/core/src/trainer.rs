@@ -1,0 +1,217 @@
+//! Minibatch training of BranchNet models.
+
+use crate::config::BranchNetConfig;
+use crate::dataset::BranchDataset;
+use crate::model::BranchNetModel;
+use branchnet_nn::loss::bce_with_logits;
+use branchnet_nn::optim::{Adam, ParamVisitor};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Passes over the dataset.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// RNG seed (shuffling, sliding-pool randomization, init).
+    pub seed: u64,
+    /// Cap on training examples (subsampled with phase-preserving
+    /// stride when exceeded).
+    pub max_examples: usize,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        Self { epochs: 8, batch_size: 64, lr: 0.01, seed: 0xB5A9, max_examples: 3000 }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Final-epoch mean training loss.
+    pub final_loss: f32,
+    /// Training-set accuracy after the final epoch.
+    pub train_accuracy: f64,
+    /// Epochs actually run (early stop counts).
+    pub epochs_run: usize,
+}
+
+/// Trains a fresh model of `config` on `dataset`.
+///
+/// Returns the trained model and a [`TrainReport`]. The dataset is
+/// subsampled to `opts.max_examples` first (phase-preserving stride).
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or its window length differs from
+/// the config's `max_history`.
+#[must_use]
+pub fn train_model(
+    config: &BranchNetConfig,
+    dataset: &BranchDataset,
+    opts: &TrainOptions,
+) -> (BranchNetModel, TrainReport) {
+    assert!(!dataset.is_empty(), "cannot train on an empty dataset");
+    assert_eq!(
+        dataset.max_history,
+        config.window_len(),
+        "dataset window length must match the model's window_len"
+    );
+    let mut ds = dataset.clone();
+    ds.subsample(opts.max_examples);
+
+    let mut model = BranchNetModel::new(config, opts.seed);
+    // Progressive quantization for hashed (Mini) models: the first
+    // half of training runs with the soft Tanh convolution activation,
+    // the second half with the binarized (engine-exact) one. Training
+    // directly against binarized outputs from a cold start optimizes
+    // poorly; warm-up recovers the accuracy (standard QAT practice).
+    let qat_switch = opts.epochs / 2;
+    if config.is_hashed() {
+        model.set_conv_binarize(qat_switch == 0);
+    }
+    let mut opt = Adam::new(opts.lr);
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xDA7A);
+    let mut order: Vec<usize> = (0..ds.len()).collect();
+    let mut final_loss = f32::NAN;
+    let mut epochs_run = 0;
+    for epoch in 0..opts.epochs {
+        if config.is_hashed() && epoch == qat_switch {
+            model.set_conv_binarize(true);
+        }
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(opts.batch_size) {
+            let windows: Vec<&[u32]> =
+                chunk.iter().map(|&i| ds.examples[i].window.as_slice()).collect();
+            let labels: Vec<f32> = chunk.iter().map(|&i| ds.examples[i].label).collect();
+            let logits = model.forward(&windows, true, &mut rng);
+            let (loss, grad) = bce_with_logits(&logits, &labels);
+            model.backward(&grad);
+            opt.step(&mut model);
+            model.zero_grad();
+            epoch_loss += f64::from(loss);
+            batches += 1;
+        }
+        final_loss = (epoch_loss / batches.max(1) as f64) as f32;
+        epochs_run = epoch + 1;
+        // Early stop on a converged fit — only once the binarized
+        // (inference-exact) phase is active.
+        if final_loss < 0.01 && epoch >= qat_switch {
+            break;
+        }
+    }
+    model.set_conv_binarize(true);
+    let acc = evaluate_accuracy(&mut model, &ds);
+    (model, TrainReport { final_loss, train_accuracy: acc, epochs_run })
+}
+
+/// Accuracy of `model` on every example of `dataset` (eval mode).
+#[must_use]
+pub fn evaluate_accuracy(model: &mut BranchNetModel, dataset: &BranchDataset) -> f64 {
+    if dataset.is_empty() {
+        return 1.0;
+    }
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut correct = 0usize;
+    for chunk in dataset.examples.chunks(256) {
+        let windows: Vec<&[u32]> = chunk.iter().map(|e| e.window.as_slice()).collect();
+        let logits = model.forward(&windows, false, &mut rng);
+        for (z, e) in logits.data().iter().zip(chunk) {
+            if (*z >= 0.0) == (e.label >= 0.5) {
+                correct += 1;
+            }
+        }
+    }
+    correct as f64 / dataset.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SliceConfig;
+    use crate::dataset::Example;
+
+    fn tiny_config() -> BranchNetConfig {
+        BranchNetConfig {
+            name: "t".into(),
+            slices: vec![SliceConfig { history: 12, channels: 3, pool_width: 12, precise_pooling: true }],
+            pc_bits: 4,
+            conv_hash_bits: Some(5),
+            embedding_dim: 0,
+            conv_width: 1,
+            hidden: vec![4],
+            fc_quant_bits: Some(4),
+            tanh_activations: true,
+        }
+    }
+
+    /// Synthesizes the Fig. 3 structure: label = (count of entries
+    /// with id A) > (count of entries with id B).
+    fn counting_dataset(n: usize) -> BranchDataset {
+        let a = 0b0101u32; // "branch A, taken"
+        let b = 0b1001u32;
+        let mut examples = Vec::new();
+        for i in 0..n {
+            let ca = i % 7;
+            let cb = (i / 7) % 7;
+            let mut window = vec![0u32; 12];
+            for slot in window.iter_mut().take(ca) {
+                *slot = a;
+            }
+            for slot in window.iter_mut().skip(7).take(cb.min(5)) {
+                *slot = b;
+            }
+            let label = if ca > cb.min(5) { 1.0 } else { 0.0 };
+            examples.push(Example { window, label });
+        }
+        BranchDataset { pc: 0x99, max_history: 12, examples }
+    }
+
+    #[test]
+    fn learns_count_comparison() {
+        let ds = counting_dataset(400);
+        let (mut model, report) = train_model(
+            &tiny_config(),
+            &ds,
+            &TrainOptions { epochs: 40, batch_size: 32, lr: 0.02, ..Default::default() },
+        );
+        assert!(report.train_accuracy > 0.93, "accuracy {}", report.train_accuracy);
+        assert!(evaluate_accuracy(&mut model, &ds) > 0.93);
+    }
+
+    #[test]
+    fn report_tracks_epochs() {
+        let ds = counting_dataset(100);
+        let opts = TrainOptions { epochs: 3, ..Default::default() };
+        let (_, report) = train_model(&tiny_config(), &ds, &opts);
+        assert!(report.epochs_run <= 3 && report.epochs_run >= 1);
+        assert!(report.final_loss.is_finite());
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let ds = counting_dataset(100);
+        let opts = TrainOptions { epochs: 2, ..Default::default() };
+        let (mut a, ra) = train_model(&tiny_config(), &ds, &opts);
+        let (mut b, rb) = train_model(&tiny_config(), &ds, &opts);
+        assert_eq!(ra.final_loss, rb.final_loss);
+        let w = &ds.examples[0].window;
+        assert_eq!(a.predict_logit(w), b.predict_logit(w));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let ds = BranchDataset { pc: 0, max_history: 12, examples: vec![] };
+        let _ = train_model(&tiny_config(), &ds, &TrainOptions::default());
+    }
+}

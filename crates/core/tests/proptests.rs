@@ -1,0 +1,145 @@
+//! Property-based tests for the BranchNet core: engine state machine,
+//! storage monotonicity, and dataset extraction invariants.
+
+use branchnet_core::config::{BranchNetConfig, SliceConfig};
+use branchnet_core::dataset::extract;
+use branchnet_core::engine::InferenceEngine;
+use branchnet_core::quantize::QuantizedMini;
+use branchnet_core::storage::storage_breakdown;
+use branchnet_core::trainer::{train_model, TrainOptions};
+use branchnet_trace::{BranchRecord, Trace};
+use proptest::prelude::*;
+
+fn tiny_config(precise2: bool) -> BranchNetConfig {
+    BranchNetConfig {
+        name: "prop".into(),
+        slices: vec![
+            SliceConfig { history: 8, channels: 2, pool_width: 4, precise_pooling: true },
+            SliceConfig { history: 16, channels: 2, pool_width: 8, precise_pooling: precise2 },
+        ],
+        pc_bits: 5,
+        conv_hash_bits: Some(5),
+        embedding_dim: 0,
+        conv_width: 3,
+        hidden: vec![4],
+        fc_quant_bits: Some(4),
+        tanh_activations: true,
+    }
+}
+
+fn quick_quant(precise2: bool) -> QuantizedMini {
+    let mut examples = Vec::new();
+    let cfg = tiny_config(precise2);
+    for i in 0..80u32 {
+        let window: Vec<u32> = (0..cfg.window_len() as u32).map(|j| (i * 13 + j * 5) % 64).collect();
+        examples.push(branchnet_core::dataset::Example {
+            window,
+            label: f32::from(u8::from(i % 3 == 0)),
+        });
+    }
+    let ds = branchnet_core::dataset::BranchDataset {
+        pc: 1,
+        max_history: cfg.window_len(),
+        examples,
+    };
+    let (model, _) =
+        train_model(&cfg, &ds, &TrainOptions { epochs: 2, max_examples: 80, ..Default::default() });
+    QuantizedMini::from_model(&model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Checkpoint + wrong-path updates + restore + correct-path replay
+    /// is indistinguishable from a straight run, for any stream and
+    /// any split point (the Section V-C recovery invariant).
+    #[test]
+    fn engine_recovery_equals_straight_run(
+        stream in prop::collection::vec(0u32..64, 4..120),
+        split_frac in 0.1f64..0.9,
+        wrong in prop::collection::vec(0u32..64, 1..30),
+        precise2 in any::<bool>(),
+    ) {
+        let quant = quick_quant(precise2);
+        let split = ((stream.len() as f64) * split_frac) as usize;
+
+        let mut straight = InferenceEngine::new(quant.clone());
+        for &e in &stream {
+            straight.update(e);
+        }
+
+        let mut flushed = InferenceEngine::new(quant);
+        for &e in &stream[..split] {
+            flushed.update(e);
+        }
+        let ckpt = flushed.checkpoint();
+        for &e in &wrong {
+            flushed.update(e);
+        }
+        flushed.restore(&ckpt);
+        for &e in &stream[split..] {
+            flushed.update(e);
+        }
+        prop_assert_eq!(straight.checkpoint(), flushed.checkpoint());
+        prop_assert_eq!(straight.predict(), flushed.predict());
+    }
+
+    /// Engine prediction is a pure function of state: repeated calls
+    /// agree, and reset really clears everything.
+    #[test]
+    fn engine_reset_restores_cold_state(stream in prop::collection::vec(0u32..64, 1..100)) {
+        let quant = quick_quant(false);
+        let cold = InferenceEngine::new(quant.clone());
+        let cold_ckpt = cold.checkpoint();
+        let mut e = InferenceEngine::new(quant);
+        for &x in &stream {
+            e.update(x);
+        }
+        e.reset();
+        prop_assert_eq!(e.checkpoint(), cold_ckpt);
+    }
+
+    /// Storage grows monotonically with channel count and hash width.
+    #[test]
+    fn storage_monotone_in_capacity(extra_channels in 0usize..6, extra_hash in 0u32..4) {
+        let base = tiny_config(false);
+        let mut bigger = base.clone();
+        for s in &mut bigger.slices {
+            s.channels += extra_channels;
+        }
+        bigger.conv_hash_bits = base.conv_hash_bits.map(|h| h + extra_hash);
+        let a = storage_breakdown(&base).total_bits();
+        let b = storage_breakdown(&bigger).total_bits();
+        prop_assert!(b >= a);
+        if extra_channels > 0 || extra_hash > 0 {
+            prop_assert!(b > a);
+        }
+    }
+
+    /// Dataset extraction: exactly one example per dynamic occurrence,
+    /// labels equal outcomes, and windows never contain the target
+    /// occurrence itself.
+    #[test]
+    fn extraction_counts_occurrences(
+        outcomes in prop::collection::vec(any::<bool>(), 1..100),
+        others in prop::collection::vec((1u64..30, any::<bool>()), 0..100),
+    ) {
+        let target = 0x999u64;
+        let mut trace = Trace::new();
+        let mut oi = others.iter();
+        for &t in &outcomes {
+            for _ in 0..2 {
+                if let Some(&(pc, dir)) = oi.next() {
+                    trace.push(BranchRecord::conditional(pc << 3, dir));
+                }
+            }
+            trace.push(BranchRecord::conditional(target, t));
+        }
+        let ds = extract(&[trace], target, 16, 8);
+        prop_assert_eq!(ds.len(), outcomes.len());
+        for (e, &t) in ds.examples.iter().zip(&outcomes) {
+            prop_assert_eq!(e.label >= 0.5, t);
+            prop_assert_eq!(e.window.len(), 16);
+        }
+    }
+}

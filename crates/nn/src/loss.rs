@@ -1,0 +1,123 @@
+//! Training objectives.
+
+use crate::tensor::Tensor;
+
+/// Binary cross-entropy on raw logits (numerically stable), the
+/// branch-direction objective: labels are 1.0 for taken, 0.0 for
+/// not-taken.
+///
+/// Returns `(mean loss, gradient w.r.t. logits)`; the gradient is
+/// already divided by the batch size.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[batch, 1]`-shaped (or flat `[batch]`)
+/// or `labels.len()` differs from the batch size.
+///
+/// ```
+/// use branchnet_nn::loss::bce_with_logits;
+/// use branchnet_nn::tensor::Tensor;
+/// let logits = Tensor::from_vec(vec![10.0, -10.0], &[2, 1]);
+/// let (loss, _grad) = bce_with_logits(&logits, &[1.0, 0.0]);
+/// assert!(loss < 1e-3); // confident and correct
+/// ```
+#[must_use]
+pub fn bce_with_logits(logits: &Tensor, labels: &[f32]) -> (f32, Tensor) {
+    let batch = match *logits.shape() {
+        [b] => b,
+        [b, 1] => b,
+        _ => panic!("bce_with_logits expects [batch] or [batch, 1], got {:?}", logits.shape()),
+    };
+    assert_eq!(labels.len(), batch, "one label per logit required");
+    let mut grad = Tensor::zeros(logits.shape());
+    let mut loss = 0.0f64;
+    for i in 0..batch {
+        let z = logits.data()[i];
+        let y = labels[i];
+        debug_assert!((0.0..=1.0).contains(&y), "labels must be probabilities");
+        // log(1 + e^-|z|) + max(z, 0) - z*y  (stable form)
+        loss += f64::from(z.max(0.0) - z * y) + f64::from((-z.abs()).exp()).ln_1p();
+        let p = 1.0 / (1.0 + (-z).exp());
+        grad.data_mut()[i] = (p - y) / batch as f32;
+    }
+    ((loss / batch as f64) as f32, grad)
+}
+
+/// Classification accuracy of logits against binary labels.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+#[must_use]
+pub fn logit_accuracy(logits: &Tensor, labels: &[f32]) -> f64 {
+    assert_eq!(logits.len(), labels.len());
+    if labels.is_empty() {
+        return 1.0;
+    }
+    let correct = logits
+        .data()
+        .iter()
+        .zip(labels)
+        .filter(|(z, y)| (**z >= 0.0) == (**y >= 0.5))
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_prediction_has_tiny_loss() {
+        let logits = Tensor::from_vec(vec![20.0, -20.0], &[2]);
+        let (loss, _) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn confident_wrong_prediction_has_large_loss() {
+        let logits = Tensor::from_vec(vec![20.0], &[1]);
+        let (loss, _) = bce_with_logits(&logits, &[0.0]);
+        assert!(loss > 10.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.3, -1.2, 2.5], &[3, 1]);
+        let labels = [1.0, 0.0, 0.0];
+        let (_, grad) = bce_with_logits(&logits, &labels);
+        let eps = 1e-3_f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = bce_with_logits(&lp, &labels);
+            let (fm, _) = bce_with_logits(&lm, &labels);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn loss_is_symmetric_under_label_flip() {
+        let a = bce_with_logits(&Tensor::from_vec(vec![1.7], &[1]), &[1.0]).0;
+        let b = bce_with_logits(&Tensor::from_vec(vec![-1.7], &[1]), &[0.0]).0;
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extreme_logits_do_not_overflow() {
+        let logits = Tensor::from_vec(vec![1e4, -1e4], &[2]);
+        let (loss, grad) = bce_with_logits(&logits, &[0.0, 1.0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_counts_sign_agreement() {
+        let logits = Tensor::from_vec(vec![1.0, -1.0, 2.0, -2.0], &[4]);
+        let acc = logit_accuracy(&logits, &[1.0, 0.0, 0.0, 1.0]);
+        assert!((acc - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Optimizers driving stochastic gradient descent.
+
+use crate::tensor::Tensor;
+
+/// Implemented by anything owning trainable parameters. The visitor
+/// must enumerate `(value, gradient)` pairs in a stable order — the
+/// optimizers key their per-parameter state by visit index.
+pub trait ParamVisitor {
+    /// Calls `f` once per parameter tensor with its gradient buffer.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Zeroes every gradient buffer.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |_, g| g.fill(0.0));
+    }
+
+    /// Total trainable scalar count.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |w, _| n += w.len());
+        n
+    }
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum 0.9.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.9)
+    }
+
+    /// Creates SGD with an explicit momentum coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` ≤ 0 or `momentum` ∉ [0, 1).
+    #[must_use]
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Applies one update step from accumulated gradients.
+    pub fn step(&mut self, model: &mut dyn ParamVisitor) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        model.visit_params(&mut |w, g| {
+            if velocity.len() <= idx {
+                velocity.push(vec![0.0; w.len()]);
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(v.len(), w.len(), "parameter shape changed between steps");
+            for ((wi, gi), vi) in w.data_mut().iter_mut().zip(g.data()).zip(v.iter_mut()) {
+                *vi = momentum * *vi + gi;
+                *wi -= lr * *vi;
+            }
+            idx += 1;
+        });
+    }
+
+    /// Updates the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0);
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) — the workhorse for BranchNet
+/// training.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    #[must_use]
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Applies one Adam step from accumulated gradients.
+    pub fn step(&mut self, model: &mut dyn ParamVisitor) {
+        self.t += 1;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bias1 = 1.0 - b1.powi(self.t);
+        let bias2 = 1.0 - b2.powi(self.t);
+        let lr = self.lr;
+        let eps = self.eps;
+        let mut idx = 0;
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        model.visit_params(&mut |w, g| {
+            if ms.len() <= idx {
+                ms.push(vec![0.0; w.len()]);
+                vs.push(vec![0.0; w.len()]);
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            assert_eq!(m.len(), w.len(), "parameter shape changed between steps");
+            for (((wi, gi), mi), vi) in
+                w.data_mut().iter_mut().zip(g.data()).zip(m.iter_mut()).zip(v.iter_mut())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let mhat = *mi / bias1;
+                let vhat = *vi / bias2;
+                *wi -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    /// Updates the learning rate.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0);
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-parameter quadratic bowl: L(w) = (w - 3)^2 / 2.
+    struct Bowl {
+        w: Tensor,
+        g: Tensor,
+    }
+
+    impl Bowl {
+        fn new() -> Self {
+            Self { w: Tensor::zeros(&[1]), g: Tensor::zeros(&[1]) }
+        }
+        fn compute_grad(&mut self) -> f32 {
+            let w = self.w.data()[0];
+            self.g.data_mut()[0] = w - 3.0;
+            (w - 3.0) * (w - 3.0) / 2.0
+        }
+    }
+
+    impl ParamVisitor for Bowl {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+            f(&mut self.w, &mut self.g);
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut bowl = Bowl::new();
+        let mut opt = Sgd::with_momentum(0.1, 0.0);
+        for _ in 0..200 {
+            bowl.compute_grad();
+            opt.step(&mut bowl);
+            bowl.zero_grad();
+        }
+        assert!((bowl.w.data()[0] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let run = |momentum: f32| {
+            let mut bowl = Bowl::new();
+            let mut opt = Sgd::with_momentum(0.01, momentum);
+            for _ in 0..100 {
+                bowl.compute_grad();
+                opt.step(&mut bowl);
+                bowl.zero_grad();
+            }
+            (bowl.w.data()[0] - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut bowl = Bowl::new();
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            bowl.compute_grad();
+            opt.step(&mut bowl);
+            bowl.zero_grad();
+        }
+        assert!((bowl.w.data()[0] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn zero_grad_clears_buffers() {
+        let mut bowl = Bowl::new();
+        bowl.compute_grad();
+        bowl.zero_grad();
+        assert_eq!(bowl.g.data()[0], 0.0);
+    }
+
+    #[test]
+    fn num_params_counts_scalars() {
+        let mut bowl = Bowl::new();
+        assert_eq!(bowl.num_params(), 1);
+    }
+}

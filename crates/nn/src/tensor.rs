@@ -1,0 +1,184 @@
+//! A flat `f32` tensor with a shape — the only numeric container the
+//! library needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` tensor.
+///
+/// ```
+/// use branchnet_nn::tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    #[must_use]
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = Self::checked_len(shape);
+        Self { data: vec![0.0; n], shape: shape.to_vec() }
+    }
+
+    /// A tensor filled with `value`.
+    #[must_use]
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let n = Self::checked_len(shape);
+        Self { data: vec![value; n], shape: shape.to_vec() }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    #[must_use]
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(data.len(), Self::checked_len(shape), "data length must match shape");
+        Self { data, shape: shape.to_vec() }
+    }
+
+    fn checked_len(shape: &[usize]) -> usize {
+        assert!(!shape.is_empty(), "shape must have at least one dimension");
+        assert!(shape.iter().all(|&d| d > 0), "zero-sized dimensions are not allowed");
+        shape.iter().product()
+    }
+
+    /// The shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true by
+    /// construction, kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at a 2-D index (row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or the index is out of range.
+    #[must_use]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Sets all elements to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|x| *x = value);
+    }
+
+    /// Element-wise `self += other * scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, other: &Tensor, scale: f32) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_scaled");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b * scale;
+        }
+    }
+
+    /// Reinterprets the buffer with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    #[must_use]
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(self.len(), Self::checked_len(shape), "reshape must preserve element count");
+        Tensor { data: self.data.clone(), shape: shape.to_vec() }
+    }
+
+    /// Largest absolute element (0.0 for all-zero tensors).
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[3, 2]);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[4], 2.5);
+        assert!(f.data().iter().all(|&x| (x - 2.5).abs() < f32::EPSILON));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length must match shape")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(vec![1.0, 2.0], &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized dimensions")]
+    fn zero_dim_rejected() {
+        let _ = Tensor::zeros(&[2, 0]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = Tensor::full(&[3], 1.0);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = a.reshaped(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    fn at2_is_row_major() {
+        let a = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(a.at2(0, 2), 3.0);
+        assert_eq!(a.at2(1, 0), 4.0);
+    }
+
+    #[test]
+    fn max_abs_finds_extreme() {
+        let a = Tensor::from_vec(vec![-5.0, 2.0, 4.5], &[3]);
+        assert!((a.max_abs() - 5.0).abs() < f32::EPSILON);
+    }
+}

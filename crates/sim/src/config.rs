@@ -1,0 +1,99 @@
+//! Processor configuration (paper Section VI-A's Scarab setup).
+
+use serde::{Deserialize, Serialize};
+
+/// First-order core model parameters. Defaults mirror the paper's
+/// simulated machine: 6-wide fetch, 512-entry ROB, 10-stage frontend,
+/// 4 KB single-cycle gshare early predictor, 4-cycle late predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Sustainable issue/retire width (ROB-limited steady state).
+    pub issue_width: usize,
+    /// Frontend pipeline depth in cycles (flush refill cost).
+    pub frontend_stages: u64,
+    /// Late-predictor latency; also the early/late re-steer bubble.
+    pub late_predictor_cycles: u64,
+    /// log2 entries of the early gshare predictor (4 KB ⇒ 2¹⁴ 2-bit
+    /// counters).
+    pub early_gshare_log_size: u32,
+    /// Global-history bits of the early gshare.
+    pub early_gshare_history: usize,
+    /// Average branch-resolution delay beyond the frontend (execution
+    /// latency of the mispredicted branch's dependence chain).
+    pub resolve_delay: u64,
+    /// Extra resolution delay for memory-dependent branches.
+    pub memory_resolve_delay: u64,
+    /// Fraction (per mille) of branches treated as memory-dependent.
+    pub memory_branch_per_mille: u32,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self {
+            fetch_width: 6,
+            issue_width: 6,
+            frontend_stages: 10,
+            late_predictor_cycles: 4,
+            early_gshare_log_size: 14,
+            early_gshare_history: 12,
+            resolve_delay: 12,
+            memory_resolve_delay: 120,
+            memory_branch_per_mille: 30,
+        }
+    }
+}
+
+impl CpuConfig {
+    /// The paper's high-performance configuration (the default).
+    #[must_use]
+    pub fn skylake_like() -> Self {
+        Self::default()
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero widths or a per-mille value above 1000.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.issue_width > 0);
+        assert!(self.memory_branch_per_mille <= 1000);
+        assert!(self.frontend_stages > 0);
+    }
+
+    /// Full misprediction penalty for a non-memory branch.
+    #[must_use]
+    pub fn flush_penalty(&self) -> u64 {
+        self.frontend_stages + self.resolve_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_machine() {
+        let c = CpuConfig::default();
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.frontend_stages, 10);
+        assert_eq!(c.late_predictor_cycles, 4);
+        // 2^14 two-bit counters = 4 KB.
+        assert_eq!((1u64 << c.early_gshare_log_size) * 2, 4 * 1024 * 8);
+    }
+
+    #[test]
+    fn flush_penalty_combines_frontend_and_resolve() {
+        let c = CpuConfig::default();
+        assert_eq!(c.flush_penalty(), 22);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        let c = CpuConfig { fetch_width: 0, ..CpuConfig::default() };
+        c.validate();
+    }
+}

@@ -1,0 +1,235 @@
+//! The timing model itself.
+
+use crate::config::CpuConfig;
+use branchnet_tage::{Gshare, Predictor};
+use branchnet_trace::{BranchRecord, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Where the late prediction comes from: a real predictor or the
+/// oracle (for perfect-prediction upper bounds).
+pub trait DirectionSource {
+    /// Predicts the record's direction (may use everything except the
+    /// record's own outcome).
+    fn predict_record(&mut self, record: &BranchRecord) -> bool;
+    /// Trains on the resolved record.
+    fn update_record(&mut self, record: &BranchRecord, predicted: bool);
+    /// Observes non-conditional control flow.
+    fn note_record(&mut self, record: &BranchRecord) {
+        let _ = record;
+    }
+}
+
+impl<P: Predictor + ?Sized> DirectionSource for P {
+    fn predict_record(&mut self, record: &BranchRecord) -> bool {
+        self.predict(record.pc)
+    }
+    fn update_record(&mut self, record: &BranchRecord, predicted: bool) {
+        self.update(record, predicted);
+    }
+    fn note_record(&mut self, record: &BranchRecord) {
+        self.note_unconditional(record);
+    }
+}
+
+/// A perfect late predictor (IPC upper bound).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Oracle;
+
+impl DirectionSource for Oracle {
+    fn predict_record(&mut self, record: &BranchRecord) -> bool {
+        record.taken
+    }
+    fn update_record(&mut self, _record: &BranchRecord, _predicted: bool) {}
+}
+
+/// Timing outcome of one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Conditional branches simulated.
+    pub branches: u64,
+    /// Final (late-predictor) mispredictions — full flushes.
+    pub mispredictions: u64,
+    /// Early/late disagreements where the late predictor was right —
+    /// re-steer bubbles.
+    pub resteers: u64,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mispredictions per kilo-instruction.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            1000.0 * self.mispredictions as f64 / self.instructions as f64
+        }
+    }
+}
+
+/// Simulates `trace` with `late` as the heavy-weight predictor behind
+/// a fresh early gshare, under `config`.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+pub fn simulate(trace: &Trace, late: &mut dyn DirectionSource, config: &CpuConfig) -> SimResult {
+    config.validate();
+    let mut early = Gshare::new(config.early_gshare_log_size, config.early_gshare_history);
+    let width = config.fetch_width.min(config.issue_width) as u64;
+    let mut instructions = 0u64;
+    let mut branches = 0u64;
+    let mut mispredictions = 0u64;
+    let mut resteers = 0u64;
+    let mut penalty_cycles = 0u64;
+    for record in trace {
+        instructions += 1 + u64::from(record.inst_gap);
+        if !record.kind.is_conditional() {
+            early.note_unconditional(record);
+            late.note_record(record);
+            continue;
+        }
+        branches += 1;
+        let early_pred = early.predict(record.pc);
+        let late_pred = late.predict_record(record);
+        if late_pred != record.taken {
+            // Full flush: refill the frontend and wait for the branch
+            // to resolve. Memory-dependent branches (chosen
+            // deterministically by PC/occurrence hash) resolve late.
+            let slow = is_memory_dependent(record.pc, branches, config.memory_branch_per_mille);
+            let resolve =
+                if slow { config.memory_resolve_delay } else { config.resolve_delay };
+            penalty_cycles += config.frontend_stages + resolve;
+            mispredictions += 1;
+        } else if early_pred != late_pred {
+            // Correct late prediction overriding the early one: the
+            // frontend refetches from the corrected target.
+            penalty_cycles += config.late_predictor_cycles;
+            resteers += 1;
+        }
+        early.update(record, early_pred);
+        late.update_record(record, late_pred);
+    }
+    let base_cycles = instructions.div_ceil(width);
+    SimResult {
+        cycles: base_cycles + penalty_cycles,
+        instructions,
+        branches,
+        mispredictions,
+        resteers,
+    }
+}
+
+/// Simulates with the oracle late predictor (perfect prediction).
+#[must_use]
+pub fn simulate_with_oracle(trace: &Trace, config: &CpuConfig) -> SimResult {
+    simulate(trace, &mut Oracle, config)
+}
+
+/// Deterministic pseudo-random tagging of memory-dependent branches.
+fn is_memory_dependent(pc: u64, occurrence: u64, per_mille: u32) -> bool {
+    let h = (pc ^ occurrence.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    (h >> 33) % 1000 < u64::from(per_mille)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchnet_tage::{AlwaysTaken, TageScL, TageSclConfig};
+
+    fn loopy_trace(n: usize) -> Trace {
+        (0..n).map(|i| BranchRecord::conditional(0x40, i % 8 != 7)).collect()
+    }
+
+    #[test]
+    fn oracle_gives_the_best_ipc() {
+        let trace = loopy_trace(20_000);
+        let cfg = CpuConfig::default();
+        let oracle = simulate_with_oracle(&trace, &cfg);
+        let mut bad = AlwaysTaken;
+        let always = simulate(&trace, &mut bad, &cfg);
+        let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let tage_res = simulate(&trace, &mut tage, &cfg);
+        assert!(oracle.ipc() >= tage_res.ipc());
+        assert!(tage_res.ipc() > always.ipc());
+        assert_eq!(oracle.mispredictions, 0);
+    }
+
+    #[test]
+    fn ipc_bounded_by_machine_width() {
+        let trace = loopy_trace(10_000);
+        let cfg = CpuConfig::default();
+        let r = simulate_with_oracle(&trace, &cfg);
+        assert!(r.ipc() <= cfg.fetch_width as f64 + 1e-9);
+        // Oracle on a gshare-predictable loop: only early resteers at
+        // warm-up, so IPC should approach the width.
+        assert!(r.ipc() > cfg.fetch_width as f64 * 0.8, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn mpki_matches_trace_evaluation() {
+        let trace = loopy_trace(20_000);
+        let cfg = CpuConfig::default();
+        let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let sim = simulate(&trace, &mut tage, &cfg);
+        let mut tage2 = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let eval = branchnet_tage::evaluate(&mut tage2, &trace);
+        assert!((sim.mpki() - eval.mpki()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_mpki_means_higher_ipc() {
+        // Alternating branch: gshare-friendly, bimodal-hostile.
+        let trace: Trace =
+            (0..30_000).map(|i| BranchRecord::conditional(0x44, i % 2 == 0)).collect();
+        let cfg = CpuConfig::default();
+        let mut good = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let mut bad = AlwaysTaken;
+        let g = simulate(&trace, &mut good, &cfg);
+        let b = simulate(&trace, &mut bad, &cfg);
+        assert!(g.mpki() < b.mpki());
+        assert!(g.ipc() > b.ipc());
+    }
+
+    #[test]
+    fn resteers_cost_less_than_flushes() {
+        let trace = loopy_trace(10_000);
+        let mut cfg = CpuConfig::default();
+        cfg.memory_branch_per_mille = 0;
+        let mut bad = AlwaysTaken;
+        let r = simulate(&trace, &mut bad, &cfg);
+        // Every 8th branch mispredicts: check penalty accounting.
+        let expected_flush_cycles = r.mispredictions * cfg.flush_penalty();
+        let base = r.instructions.div_ceil(cfg.fetch_width as u64);
+        assert!(r.cycles >= base + expected_flush_cycles);
+    }
+
+    #[test]
+    fn memory_dependent_tagging_is_deterministic_and_bounded() {
+        let mut hits = 0;
+        for i in 0..10_000u64 {
+            if is_memory_dependent(0x1234, i, 30) {
+                hits += 1;
+            }
+            assert_eq!(
+                is_memory_dependent(0x1234, i, 30),
+                is_memory_dependent(0x1234, i, 30)
+            );
+        }
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.03).abs() < 0.01, "rate {rate}");
+    }
+}

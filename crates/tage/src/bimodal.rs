@@ -1,0 +1,117 @@
+//! A PC-indexed table of 2-bit counters — the simplest dynamic
+//! predictor, and TAGE's base component.
+
+use crate::counters::SaturatingCounter;
+use crate::predictor::Predictor;
+use branchnet_trace::BranchRecord;
+
+/// Bimodal predictor: `2^log_size` two-bit saturating counters indexed
+/// by the branch PC.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<SaturatingCounter>,
+    mask: u64,
+    counter_bits: u32,
+}
+
+impl Bimodal {
+    /// Creates a bimodal table with `2^log_size` counters of
+    /// `counter_bits` precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_size` is not in `1..=30`.
+    #[must_use]
+    pub fn new(log_size: u32, counter_bits: u32) -> Self {
+        assert!((1..=30).contains(&log_size));
+        let size = 1usize << log_size;
+        Self {
+            table: vec![SaturatingCounter::new(counter_bits); size],
+            mask: (size - 1) as u64,
+            counter_bits,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// Direct table read without the [`Predictor`] trait — used by
+    /// TAGE as its base prediction.
+    #[must_use]
+    pub fn lookup(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].is_taken()
+    }
+
+    /// Whether the entry backing `pc` is at a weak value.
+    #[must_use]
+    pub fn is_weak(&self, pc: u64) -> bool {
+        self.table[self.index(pc)].is_weak()
+    }
+
+    /// Trains the entry backing `pc` toward `taken`.
+    pub fn train(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+}
+
+impl Predictor for Bimodal {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.lookup(pc)
+    }
+
+    fn update(&mut self, record: &BranchRecord, _predicted: bool) {
+        self.train(record.pc, record.taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.table.len() as u64 * u64::from(self.counter_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::evaluate;
+    use branchnet_trace::Trace;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let trace: Trace = (0..100).map(|_| BranchRecord::conditional(0x40, true)).collect();
+        let stats = evaluate(&mut Bimodal::new(10, 2), &trace);
+        // Only possible mistakes are during the first warm-up updates.
+        assert!(stats.mispredictions() <= 1.0);
+    }
+
+    #[test]
+    fn loop_exit_mispredicts_once_per_iteration_set() {
+        // 10-iteration loop: 2-bit counter mispredicts the single
+        // not-taken exit each time but stays taken-biased.
+        let trace: Trace =
+            (0..200).map(|i| BranchRecord::conditional(0x40, i % 10 != 9)).collect();
+        let stats = evaluate(&mut Bimodal::new(10, 2), &trace);
+        assert!(stats.accuracy() >= 0.89 && stats.accuracy() <= 0.91);
+    }
+
+    #[test]
+    fn distinct_pcs_map_to_distinct_entries() {
+        let mut b = Bimodal::new(10, 2);
+        for _ in 0..4 {
+            b.train(0x100, true);
+            b.train(0x200, false);
+        }
+        assert!(b.lookup(0x100));
+        assert!(!b.lookup(0x200));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let b = Bimodal::new(12, 2);
+        assert_eq!(b.storage_bits(), 4096 * 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! Saturating counters — the storage primitive of table-based
+//! predictors.
+
+use serde::{Deserialize, Serialize};
+
+/// A signed saturating counter with `bits` of precision, ranging over
+/// `[-(2^(bits-1)), 2^(bits-1) - 1]`. Positive (≥ 0) means taken.
+///
+/// ```
+/// use branchnet_tage::counters::SaturatingCounter;
+/// let mut c = SaturatingCounter::new(3); // range [-4, 3]
+/// for _ in 0..10 { c.increment(); }
+/// assert_eq!(c.value(), 3);
+/// assert!(c.is_taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaturatingCounter {
+    value: i8,
+    min: i8,
+    max: i8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter of `bits` precision initialized to 0 (weakly
+    /// taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=7`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=7).contains(&bits), "counter bits must be in 1..=7");
+        let max = (1i8 << (bits - 1)) - 1;
+        Self { value: 0, min: -max - 1, max }
+    }
+
+    /// Creates a counter seeded from an initial direction: weakly taken
+    /// (0) or weakly not-taken (-1).
+    #[must_use]
+    pub fn with_direction(bits: u32, taken: bool) -> Self {
+        let mut c = Self::new(bits);
+        c.value = if taken { 0 } else { -1 };
+        c
+    }
+
+    /// Saturating increment.
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    pub fn decrement(&mut self) {
+        if self.value > self.min {
+            self.value -= 1;
+        }
+    }
+
+    /// Moves toward taken (`true`) or not-taken (`false`).
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.increment();
+        } else {
+            self.decrement();
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> i8 {
+        self.value
+    }
+
+    /// Predicted direction: taken when the counter is non-negative.
+    #[must_use]
+    pub fn is_taken(&self) -> bool {
+        self.value >= 0
+    }
+
+    /// Whether the counter sits at one of its weak values (0 or -1) —
+    /// TAGE's "newly allocated / not confident" test.
+    #[must_use]
+    pub fn is_weak(&self) -> bool {
+        self.value == 0 || self.value == -1
+    }
+
+    /// Distance from the weak boundary; larger means more confident.
+    #[must_use]
+    pub fn confidence(&self) -> i8 {
+        if self.value >= 0 {
+            self.value
+        } else {
+            -self.value - 1
+        }
+    }
+
+    /// Lower bound of the range.
+    #[must_use]
+    pub fn min(&self) -> i8 {
+        self.min
+    }
+
+    /// Upper bound of the range.
+    #[must_use]
+    pub fn max(&self) -> i8 {
+        self.max
+    }
+
+    /// Resets to the weak value for `taken`.
+    pub fn reset(&mut self, taken: bool) {
+        self.value = if taken { 0 } else { -1 };
+    }
+}
+
+/// An unsigned saturating counter (e.g. TAGE "useful" bits, loop
+/// confidence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UnsignedCounter {
+    value: u8,
+    max: u8,
+}
+
+impl UnsignedCounter {
+    /// Creates a zeroed counter of `bits` precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is not in `1..=8`.
+    #[must_use]
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "counter bits must be in 1..=8");
+        Self { value: 0, max: ((1u16 << bits) - 1) as u8 }
+    }
+
+    /// Saturating increment.
+    pub fn increment(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Whether the counter is at zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.value == 0
+    }
+
+    /// Whether the counter is saturated at its maximum.
+    #[must_use]
+    pub fn is_max(&self) -> bool {
+        self.value == self.max
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// Halves the value (TAGE's useful-bit aging).
+    pub fn age(&mut self) {
+        self.value >>= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_counter_saturates_both_ends() {
+        let mut c = SaturatingCounter::new(3);
+        for _ in 0..20 {
+            c.increment();
+        }
+        assert_eq!(c.value(), 3);
+        for _ in 0..20 {
+            c.decrement();
+        }
+        assert_eq!(c.value(), -4);
+    }
+
+    #[test]
+    fn signed_counter_direction_and_weakness() {
+        let mut c = SaturatingCounter::new(2); // range [-2, 1]
+        assert!(c.is_taken());
+        assert!(c.is_weak());
+        c.update(false);
+        assert!(!c.is_taken());
+        assert!(c.is_weak());
+        c.update(false);
+        assert!(!c.is_weak());
+        assert_eq!(c.confidence(), 1);
+    }
+
+    #[test]
+    fn with_direction_seeds_weak_values() {
+        assert_eq!(SaturatingCounter::with_direction(3, true).value(), 0);
+        assert_eq!(SaturatingCounter::with_direction(3, false).value(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter bits")]
+    fn signed_counter_rejects_zero_bits() {
+        let _ = SaturatingCounter::new(0);
+    }
+
+    #[test]
+    fn unsigned_counter_saturates_and_ages() {
+        let mut u = UnsignedCounter::new(2);
+        for _ in 0..10 {
+            u.increment();
+        }
+        assert_eq!(u.value(), 3);
+        assert!(u.is_max());
+        u.age();
+        assert_eq!(u.value(), 1);
+        u.decrement();
+        u.decrement();
+        assert!(u.is_zero());
+    }
+
+    #[test]
+    fn unsigned_counter_never_underflows() {
+        let mut u = UnsignedCounter::new(4);
+        u.decrement();
+        assert_eq!(u.value(), 0);
+    }
+}

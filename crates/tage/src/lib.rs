@@ -1,0 +1,57 @@
+//! Runtime (online-trained) branch predictors.
+//!
+//! This crate reimplements, from scratch, the conventional predictors
+//! the BranchNet paper evaluates against:
+//!
+//! * [`TageScL`] — TAGE + loop predictor + statistical corrector, the
+//!   CBP2016 winner used as the paper's practical baseline, with 64 KB
+//!   and 56 KB budget presets plus an MTAGE-SC-style "unlimited"
+//!   preset ([`TageSclConfig::mtage_sc_unlimited`]) for headroom
+//!   studies (Fig. 9), and ablation toggles (no SC / no local / no
+//!   loop) used in the paper's Fig. 9 decomposition.
+//! * [`Tage`] — the parametric tagged-geometric-history core.
+//! * Simpler classics used as light-weight predictors or comparison
+//!   points: [`Bimodal`], [`Gshare`], [`TwoLevel`], [`Perceptron`],
+//!   and [`HashedPerceptron`].
+//!
+//! All predictors implement the [`Predictor`] trait and are evaluated
+//! with [`evaluate`] / [`evaluate_per_branch`].
+//!
+//! # Example
+//!
+//! ```
+//! use branchnet_tage::{evaluate, Gshare, Predictor, TageScL, TageSclConfig};
+//! use branchnet_trace::{BranchRecord, Trace};
+//!
+//! // A loop branch: taken 9 times, then not taken, repeatedly.
+//! let trace: Trace =
+//!     (0..2000).map(|i| BranchRecord::conditional(0x40, i % 10 != 9)).collect();
+//! let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+//! let stats = evaluate(&mut tage, &trace);
+//! assert!(stats.accuracy() > 0.95);
+//! let mut gshare = Gshare::new(12, 12);
+//! let gshare_stats = evaluate(&mut gshare, &trace);
+//! assert!(gshare_stats.accuracy() > 0.9);
+//! ```
+
+pub mod bimodal;
+pub mod counters;
+pub mod gshare;
+pub mod loop_pred;
+pub mod perceptron;
+pub mod predictor;
+pub mod sc;
+pub mod tage;
+pub mod tagescl;
+pub mod twolevel;
+
+pub use bimodal::Bimodal;
+pub use counters::{SaturatingCounter, UnsignedCounter};
+pub use gshare::Gshare;
+pub use loop_pred::LoopPredictor;
+pub use perceptron::{HashedPerceptron, Perceptron};
+pub use predictor::{evaluate, evaluate_per_branch, AlwaysTaken, Predictor, StaticBias};
+pub use sc::{ScConfig, StatisticalCorrector};
+pub use tage::{Tage, TageConfig};
+pub use tagescl::{TageScL, TageSclConfig};
+pub use twolevel::TwoLevel;

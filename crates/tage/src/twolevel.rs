@@ -1,0 +1,120 @@
+//! Global two-level adaptive predictor (Yeh & Patt / GAg-style).
+//!
+//! Section II-A of the paper notes that a long-history TAGE table
+//! degenerates to a global 2-level predictor needing `O(2^n)` entries;
+//! this implementation makes that comparison concrete in experiments.
+
+use crate::counters::SaturatingCounter;
+use crate::predictor::Predictor;
+use branchnet_trace::{BranchRecord, GlobalHistory};
+
+/// GAg two-level predictor: a pattern-history table of 2-bit counters
+/// indexed directly by the newest `history_bits` of global history
+/// (optionally XOR-mixed with the PC when `mix_pc` is set).
+#[derive(Debug, Clone)]
+pub struct TwoLevel {
+    pht: Vec<SaturatingCounter>,
+    history: GlobalHistory,
+    history_bits: usize,
+    mix_pc: bool,
+    mask: u64,
+}
+
+impl TwoLevel {
+    /// Creates a two-level predictor with a `2^history_bits`-entry PHT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is not in `1..=26`.
+    #[must_use]
+    pub fn new(history_bits: usize, mix_pc: bool) -> Self {
+        assert!((1..=26).contains(&history_bits), "PHT of 2^{history_bits} entries is impractical");
+        let size = 1usize << history_bits;
+        Self {
+            pht: vec![SaturatingCounter::new(2); size],
+            history: GlobalHistory::new(history_bits),
+            history_bits,
+            mix_pc,
+            mask: (size - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let h = self.history.low_bits(self.history_bits);
+        let v = if self.mix_pc { h ^ (pc >> 2) } else { h };
+        (v & self.mask) as usize
+    }
+}
+
+impl Predictor for TwoLevel {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.pht[self.index(pc)].is_taken()
+    }
+
+    fn update(&mut self, record: &BranchRecord, _predicted: bool) {
+        let idx = self.index(record.pc);
+        self.pht[idx].update(record.taken);
+        self.history.push(record.taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "two-level"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.pht.len() as u64 * 2 + self.history_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::evaluate;
+    use branchnet_trace::Trace;
+
+    #[test]
+    fn perfect_on_deterministic_pattern() {
+        // Period-6 pattern fits easily into 8 bits of history.
+        let pattern = [true, true, false, true, false, false];
+        let trace: Trace =
+            (0..600).map(|i| BranchRecord::conditional(0x40, pattern[i % 6])).collect();
+        let stats = evaluate(&mut TwoLevel::new(8, false), &trace);
+        assert!(stats.accuracy() > 0.97, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn noisy_history_defeats_small_pht() {
+        // A correlated branch 12 positions back with 12 noisy branches in
+        // between needs 2^13 PHT entries; an 6-bit-history PHT aliases.
+        let mut seed = 0x12345u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut trace = Trace::new();
+        let mut pending = std::collections::VecDeque::new();
+        for _ in 0..4000 {
+            let key = rng() % 2 == 0;
+            trace.push(BranchRecord::conditional(0x100, key));
+            pending.push_back(key);
+            for n in 0..6 {
+                trace.push(BranchRecord::conditional(0x200 + n * 8, rng() % 2 == 0));
+            }
+            if pending.len() > 1 {
+                let correlated = pending.pop_front().unwrap();
+                trace.push(BranchRecord::conditional(0x900, correlated));
+            }
+        }
+        let small = evaluate(&mut TwoLevel::new(6, false), &trace);
+        let large = evaluate(&mut TwoLevel::new(16, false), &trace);
+        assert!(large.accuracy() > small.accuracy());
+    }
+
+    #[test]
+    fn storage_grows_exponentially_with_history() {
+        assert_eq!(TwoLevel::new(10, false).storage_bits(), 2048 + 10);
+        assert_eq!(TwoLevel::new(20, false).storage_bits(), 2 * (1 << 20) + 20);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the runtime predictors.
+
+use branchnet_tage::{
+    evaluate, Bimodal, Gshare, HashedPerceptron, Perceptron, Predictor, TageScL, TageSclConfig,
+};
+use branchnet_trace::{BranchRecord, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every predictor is total: arbitrary PC/direction streams never
+    /// panic, and the accounting matches the stream length.
+    #[test]
+    fn predictors_are_total(
+        stream in prop::collection::vec((0u64..1 << 20, any::<bool>()), 1..300)
+    ) {
+        let trace: Trace =
+            stream.iter().map(|&(pc, t)| BranchRecord::conditional(pc << 2, t)).collect();
+        let mut predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(Bimodal::new(10, 2)),
+            Box::new(Gshare::new(10, 8)),
+            Box::new(Perceptron::new(6, 12)),
+            Box::new(HashedPerceptron::new(8, &[0, 4, 8])),
+        ];
+        for p in &mut predictors {
+            let stats = evaluate(p.as_mut(), &trace);
+            prop_assert!((stats.predictions() - trace.len() as f64).abs() < 1e-9);
+            prop_assert!(stats.accuracy() >= 0.0 && stats.accuracy() <= 1.0);
+        }
+    }
+
+    /// A perfectly biased branch is learned by every predictor to
+    /// near-perfection once warm.
+    #[test]
+    fn all_predictors_learn_constant_direction(taken in any::<bool>(), pc in 1u64..1000) {
+        let trace: Trace =
+            (0..300).map(|_| BranchRecord::conditional(pc << 3, taken)).collect();
+        let mut predictors: Vec<Box<dyn Predictor>> = vec![
+            Box::new(Bimodal::new(10, 2)),
+            Box::new(Gshare::new(10, 8)),
+            Box::new(Perceptron::new(6, 12)),
+        ];
+        for p in &mut predictors {
+            let stats = evaluate(p.as_mut(), &trace);
+            prop_assert!(
+                stats.mispredictions() <= 5.0,
+                "{} mispredicted a constant branch {} times",
+                p.name(),
+                stats.mispredictions()
+            );
+        }
+    }
+
+    /// TAGE-SC-L state stays consistent under interleaved conditional
+    /// and unconditional control flow.
+    #[test]
+    fn tage_scl_handles_mixed_control_flow(
+        ops in prop::collection::vec((0u8..6, any::<bool>()), 1..300)
+    ) {
+        let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        for (slot, taken) in ops {
+            let pc = 0x4000 + u64::from(slot) * 32;
+            if slot % 3 == 0 {
+                p.note_unconditional(&BranchRecord::unconditional(
+                    pc,
+                    pc + 64,
+                    branchnet_trace::BranchKind::Jump,
+                ));
+            } else {
+                let pred = p.predict(pc);
+                p.update(&BranchRecord::conditional(pc, taken), pred);
+            }
+        }
+        // Storage accounting never changes at runtime.
+        prop_assert_eq!(
+            p.storage_bits(),
+            TageScL::new(&TageSclConfig::tage_sc_l_64kb()).storage_bits()
+        );
+    }
+}
+
+#[test]
+fn storage_ordering_across_configs() {
+    let bits = |cfg: &TageSclConfig| TageScL::new(cfg).storage_bits();
+    let b56 = bits(&TageSclConfig::tage_sc_l_56kb());
+    let b64 = bits(&TageSclConfig::tage_sc_l_64kb());
+    let unlimited = bits(&TageSclConfig::mtage_sc_unlimited());
+    assert!(b56 < b64 && b64 < unlimited);
+    assert!(b64 <= 64 * 1024 * 8);
+    assert!(b56 <= 56 * 1024 * 8 + 8 * 1024, "56KB config near budget: {b56} bits");
+}

@@ -1,0 +1,391 @@
+//! Branch history structures.
+//!
+//! Three views of history are needed by the predictors in this
+//! workspace:
+//!
+//! * [`GlobalHistory`] — a long shift register of branch directions,
+//!   used by gshare/perceptron/2-level predictors and the statistical
+//!   corrector.
+//! * [`PathHistory`] — a short register of low PC bits of taken
+//!   branches, mixed into TAGE index hashes.
+//! * [`FoldedHistory`] — the TAGE trick: an `n`-bit-long history folded
+//!   into a small register by cyclic shifting, updated incrementally in
+//!   O(1) per branch.
+//! * [`HistoryRegister`] — the (PC, direction) integer encoding stream
+//!   consumed by BranchNet's CNN (Section V-A "History Format").
+
+use crate::record::BranchRecord;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A bounded shift register of branch directions, newest first.
+///
+/// ```
+/// use branchnet_trace::history::GlobalHistory;
+/// let mut h = GlobalHistory::new(8);
+/// h.push(true);
+/// h.push(false);
+/// assert_eq!(h.bit(0), false); // newest
+/// assert_eq!(h.bit(1), true);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalHistory {
+    bits: VecDeque<bool>,
+    capacity: usize,
+}
+
+impl GlobalHistory {
+    /// Creates an empty history with room for `capacity` direction bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "history capacity must be positive");
+        Self { bits: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Pushes the newest direction, evicting the oldest when full.
+    pub fn push(&mut self, taken: bool) {
+        if self.bits.len() == self.capacity {
+            self.bits.pop_back();
+        }
+        self.bits.push_front(taken);
+    }
+
+    /// Direction of the branch `age` positions back (0 = newest).
+    /// Out-of-range positions read as not-taken.
+    #[must_use]
+    pub fn bit(&self, age: usize) -> bool {
+        self.bits.get(age).copied().unwrap_or(false)
+    }
+
+    /// Number of recorded directions (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether no branch has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Maximum number of retained directions.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The newest `n` bits packed into a `u64` (bit 0 = newest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    #[must_use]
+    pub fn low_bits(&self, n: usize) -> u64 {
+        assert!(n <= 64, "at most 64 bits fit in a u64");
+        let mut v = 0u64;
+        for i in (0..n).rev() {
+            v = (v << 1) | u64::from(self.bit(i));
+        }
+        v
+    }
+
+    /// Iterates over directions from newest to oldest.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Clears all recorded history.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+    }
+}
+
+/// A register of low PC bits of recent branches, used as TAGE path
+/// history. Holds `PATH_BITS_PER_BRANCH` bits per branch in a `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PathHistory {
+    value: u64,
+}
+
+impl PathHistory {
+    /// Bits of PC contributed per branch.
+    pub const BITS_PER_BRANCH: u32 = 2;
+
+    /// Creates an empty path history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shifts in the low bits of `pc`.
+    pub fn push(&mut self, pc: u64) {
+        self.value = (self.value << Self::BITS_PER_BRANCH) | (pc & ((1 << Self::BITS_PER_BRANCH) - 1));
+    }
+
+    /// The newest `n` path bits (n ≤ 64).
+    #[must_use]
+    pub fn low_bits(&self, n: u32) -> u64 {
+        if n >= 64 {
+            self.value
+        } else {
+            self.value & ((1u64 << n) - 1)
+        }
+    }
+}
+
+/// Incrementally-folded history as used by TAGE tables (Michaud's
+/// cyclic shift register). Folds an `original_len`-bit direction
+/// history into `compressed_len` bits, updated in O(1) per branch.
+///
+/// The invariant — checked by property tests — is that the register
+/// always equals the XOR-fold of the newest `original_len` history bits
+/// into `compressed_len`-bit chunks, each chunk rotated by its index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FoldedHistory {
+    comp: u64,
+    original_len: usize,
+    compressed_len: usize,
+    /// `original_len % compressed_len`, the rotation of the outgoing bit.
+    outpoint: usize,
+}
+
+impl FoldedHistory {
+    /// Creates a folded register compressing `original_len` history bits
+    /// into `compressed_len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compressed_len` is zero or greater than 63.
+    #[must_use]
+    pub fn new(original_len: usize, compressed_len: usize) -> Self {
+        assert!(compressed_len > 0 && compressed_len < 64);
+        Self { comp: 0, original_len, compressed_len, outpoint: original_len % compressed_len }
+    }
+
+    /// Incrementally updates the fold given the incoming newest bit and
+    /// the bit that is `original_len` positions old (the one falling out
+    /// of the folded window). `outgoing` must be the direction recorded
+    /// `original_len` branches ago (false if history is shorter).
+    pub fn update(&mut self, incoming: bool, outgoing: bool) {
+        self.comp = (self.comp << 1) | u64::from(incoming);
+        self.comp ^= u64::from(outgoing) << self.outpoint;
+        self.comp ^= (self.comp >> self.compressed_len) & 1;
+        self.comp &= (1u64 << self.compressed_len) - 1;
+    }
+
+    /// Current folded value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.comp
+    }
+
+    /// The length of history being folded.
+    #[must_use]
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// The width of the folded register.
+    #[must_use]
+    pub fn compressed_len(&self) -> usize {
+        self.compressed_len
+    }
+
+    /// Recomputes the fold from scratch over a [`GlobalHistory`]; used
+    /// for testing the incremental update.
+    #[must_use]
+    pub fn fold_from_history(history: &GlobalHistory, original_len: usize, compressed_len: usize) -> u64 {
+        // Reconstruct by replaying the incremental update over the
+        // recorded history, oldest first. This mirrors exactly what a
+        // predictor performing `update` on every branch would hold.
+        let mut f = FoldedHistory::new(original_len, compressed_len);
+        let recorded: Vec<bool> = history.iter().collect(); // newest first
+        for (i, &bit) in recorded.iter().enumerate().rev() {
+            // When `bit` was pushed, the outgoing bit was the one
+            // `original_len` older; with newest-first indexing that is
+            // position i + original_len.
+            let outgoing = recorded.get(i + original_len).copied().unwrap_or(false);
+            f.update(bit, outgoing);
+        }
+        f.value()
+    }
+}
+
+/// A bounded history of `(p+1)`-bit encoded branches — the CNN input
+/// stream (Section V-A): low `pc_bits` of the PC concatenated with the
+/// direction bit. Newest first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryRegister {
+    entries: VecDeque<u32>,
+    capacity: usize,
+    pc_bits: u32,
+}
+
+impl HistoryRegister {
+    /// Creates an encoded-branch history holding `capacity` entries of
+    /// `pc_bits`-bit PCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `pc_bits` > 31.
+    #[must_use]
+    pub fn new(capacity: usize, pc_bits: u32) -> Self {
+        assert!(capacity > 0);
+        assert!(pc_bits <= 31);
+        Self { entries: VecDeque::with_capacity(capacity), capacity, pc_bits }
+    }
+
+    /// Pushes a record, evicting the oldest when full.
+    pub fn push(&mut self, record: &BranchRecord) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_back();
+        }
+        self.entries.push_front(record.encode(self.pc_bits));
+    }
+
+    /// The encoded entry `age` positions back (0 = newest); `None` if
+    /// history is shorter.
+    #[must_use]
+    pub fn get(&self, age: usize) -> Option<u32> {
+        self.entries.get(age).copied()
+    }
+
+    /// A snapshot of the newest `n` entries ordered **oldest→newest**
+    /// (the order a convolution slides over), zero-padded at the front
+    /// when fewer than `n` branches have been seen.
+    #[must_use]
+    pub fn window(&self, n: usize) -> Vec<u32> {
+        let mut out = vec![0u32; n];
+        for (i, slot) in out.iter_mut().enumerate() {
+            // i = 0 is the oldest of the window = age n-1.
+            let age = n - 1 - i;
+            if let Some(v) = self.entries.get(age) {
+                *slot = *v;
+            }
+        }
+        out
+    }
+
+    /// Number of recorded entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the register is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Width of the PC field in each encoded entry.
+    #[must_use]
+    pub fn pc_bits(&self) -> u32 {
+        self.pc_bits
+    }
+
+    /// Clears the register.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchRecord;
+
+    #[test]
+    fn global_history_orders_newest_first() {
+        let mut h = GlobalHistory::new(4);
+        for b in [true, false, true, true] {
+            h.push(b);
+        }
+        assert_eq!(h.bit(0), true);
+        assert_eq!(h.bit(1), true);
+        assert_eq!(h.bit(2), false);
+        assert_eq!(h.bit(3), true);
+    }
+
+    #[test]
+    fn global_history_evicts_oldest() {
+        let mut h = GlobalHistory::new(2);
+        h.push(true);
+        h.push(false);
+        h.push(false);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.bit(0), false);
+        assert_eq!(h.bit(1), false);
+        assert_eq!(h.bit(2), false, "evicted bits read as not-taken");
+    }
+
+    #[test]
+    fn low_bits_packs_newest_in_bit0() {
+        let mut h = GlobalHistory::new(8);
+        h.push(true); // will be bit 2
+        h.push(false); // bit 1
+        h.push(true); // bit 0
+        assert_eq!(h.low_bits(3), 0b101);
+        assert_eq!(h.low_bits(8), 0b101);
+    }
+
+    #[test]
+    fn path_history_shifts_low_pc_bits() {
+        let mut p = PathHistory::new();
+        p.push(0b11);
+        p.push(0b01);
+        assert_eq!(p.low_bits(4), 0b1101);
+    }
+
+    #[test]
+    fn folded_history_matches_from_scratch_reference() {
+        let mut h = GlobalHistory::new(128);
+        let mut f = FoldedHistory::new(37, 11);
+        let dirs = [true, false, false, true, true, true, false, true, false, false];
+        // Push 100 pseudo-random bits.
+        for i in 0..100 {
+            let bit = dirs[(i * 7 + 3) % dirs.len()];
+            // The bit that will be `original_len` old once `bit` is pushed.
+            let outgoing = if h.len() >= 37 { h.bit(36) } else { false };
+            f.update(bit, outgoing);
+            h.push(bit);
+            assert_eq!(
+                f.value(),
+                FoldedHistory::fold_from_history(&h, 37, 11),
+                "incremental fold diverged at step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn folded_history_zero_when_empty() {
+        let f = FoldedHistory::new(100, 12);
+        assert_eq!(f.value(), 0);
+    }
+
+    #[test]
+    fn history_register_window_is_oldest_to_newest_zero_padded() {
+        let mut hr = HistoryRegister::new(8, 4);
+        hr.push(&BranchRecord::conditional(0x1, true)); // encode: 0b11 = 3
+        hr.push(&BranchRecord::conditional(0x2, false)); // encode: 0b100 = 4
+        let w = hr.window(4);
+        assert_eq!(w, vec![0, 0, 3, 4]);
+    }
+
+    #[test]
+    fn history_register_evicts_oldest() {
+        let mut hr = HistoryRegister::new(2, 4);
+        hr.push(&BranchRecord::conditional(0x1, true));
+        hr.push(&BranchRecord::conditional(0x2, true));
+        hr.push(&BranchRecord::conditional(0x3, true));
+        assert_eq!(hr.len(), 2);
+        assert_eq!(hr.get(0), Some((0x3 << 1) | 1));
+        assert_eq!(hr.get(1), Some((0x2 << 1) | 1));
+        assert_eq!(hr.get(2), None);
+    }
+}

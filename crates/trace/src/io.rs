@@ -1,0 +1,319 @@
+//! Compact binary trace files.
+//!
+//! Profiling runs produce long branch traces that experiments re-read
+//! many times; this module gives them a stable on-disk format:
+//!
+//! ```text
+//! magic "BNTR" | version u8 | weight f64 | label (u16 len + utf8)
+//! record count u64 | records...
+//! ```
+//!
+//! Each record is delta/varint packed: most branches repeat a small
+//! set of PCs at small strides, so the common case is 3–6 bytes per
+//! record instead of the 26-byte in-memory layout.
+
+use crate::record::{BranchKind, BranchRecord};
+use crate::trace::Trace;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"BNTR";
+const VERSION: u8 = 1;
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a trace file (bad magic).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// Structurally invalid content.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::BadMagic => write!(f, "not a BranchNet trace file"),
+            ReadTraceError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            ReadTraceError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, ReadTraceError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        if shift >= 64 {
+            return Err(ReadTraceError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte[0] & 0x7F) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// ZigZag encoding for signed deltas.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn kind_code(kind: BranchKind) -> u8 {
+    match kind {
+        BranchKind::Conditional => 0,
+        BranchKind::Jump => 1,
+        BranchKind::Call => 2,
+        BranchKind::Return => 3,
+        BranchKind::Indirect => 4,
+    }
+}
+
+fn code_kind(code: u8) -> Result<BranchKind, ReadTraceError> {
+    Ok(match code {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::Jump,
+        2 => BranchKind::Call,
+        3 => BranchKind::Return,
+        4 => BranchKind::Indirect,
+        _ => return Err(ReadTraceError::Corrupt("unknown branch kind")),
+    })
+}
+
+/// Writes `trace` to `w` in the compact binary format.
+///
+/// A `&mut` reference works wherever a writer is required.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&trace.weight().to_le_bytes())?;
+    let label = trace.label().as_bytes();
+    let label_len = u16::try_from(label.len()).unwrap_or(u16::MAX);
+    w.write_all(&label_len.to_le_bytes())?;
+    w.write_all(&label[..usize::from(label_len)])?;
+    write_varint(&mut w, trace.len() as u64)?;
+    let mut prev_pc = 0u64;
+    for r in trace {
+        // header byte: kind (3 bits) | taken (1) | gap==4 default (1)
+        let default_gap = r.inst_gap == 4;
+        let header =
+            kind_code(r.kind) | (u8::from(r.taken) << 3) | (u8::from(default_gap) << 4);
+        w.write_all(&[header])?;
+        write_varint(&mut w, zigzag(r.pc as i64 - prev_pc as i64))?;
+        write_varint(&mut w, zigzag(r.target as i64 - r.pc as i64))?;
+        if !default_gap {
+            write_varint(&mut w, u64::from(r.inst_gap))?;
+        }
+        prev_pc = r.pc;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure or malformed content.
+pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let mut version = [0u8; 1];
+    r.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(ReadTraceError::BadVersion(version[0]));
+    }
+    let mut weight = [0u8; 8];
+    r.read_exact(&mut weight)?;
+    let weight = f64::from_le_bytes(weight);
+    if !(weight.is_finite() && weight > 0.0) {
+        return Err(ReadTraceError::Corrupt("non-positive weight"));
+    }
+    let mut label_len = [0u8; 2];
+    r.read_exact(&mut label_len)?;
+    let mut label = vec![0u8; usize::from(u16::from_le_bytes(label_len))];
+    r.read_exact(&mut label)?;
+    let label =
+        String::from_utf8(label).map_err(|_| ReadTraceError::Corrupt("label not utf-8"))?;
+    let count = read_varint(&mut r)?;
+    if count > 1 << 40 {
+        return Err(ReadTraceError::Corrupt("implausible record count"));
+    }
+    let mut trace = Trace::with_label(label, weight);
+    let mut prev_pc = 0u64;
+    for _ in 0..count {
+        let mut header = [0u8; 1];
+        r.read_exact(&mut header)?;
+        let kind = code_kind(header[0] & 0x7)?;
+        let taken = header[0] >> 3 & 1 == 1;
+        let default_gap = header[0] >> 4 & 1 == 1;
+        let pc = (prev_pc as i64).wrapping_add(unzigzag(read_varint(&mut r)?)) as u64;
+        let target = (pc as i64).wrapping_add(unzigzag(read_varint(&mut r)?)) as u64;
+        let inst_gap = if default_gap {
+            4
+        } else {
+            u16::try_from(read_varint(&mut r)?)
+                .map_err(|_| ReadTraceError::Corrupt("inst_gap overflow"))?
+        };
+        trace.push(BranchRecord { pc, taken, target, kind, inst_gap });
+        prev_pc = pc;
+    }
+    Ok(trace)
+}
+
+/// Convenience: writes a trace to a file path.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn save_trace(path: &std::path::Path, trace: &Trace) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_trace(io::BufWriter::new(file), trace)
+}
+
+/// Convenience: reads a trace from a file path.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on open/read failure or malformed
+/// content.
+pub fn load_trace(path: &std::path::Path) -> Result<Trace, ReadTraceError> {
+    let file = std::fs::File::open(path)?;
+    read_trace(io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::with_label("leela/train-1", 0.5);
+        for i in 0..200u64 {
+            t.push(BranchRecord::conditional(0x1000 + (i % 7) * 8, i % 3 == 0));
+            if i % 5 == 0 {
+                t.push(BranchRecord::unconditional(0x2000 + i, 0x3000, BranchKind::Call));
+            }
+            if i % 11 == 0 {
+                t.push(BranchRecord::conditional_with_gap(0x4000, true, 123));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let naive = t.len() * std::mem::size_of::<BranchRecord>();
+        assert!(
+            buf.len() * 3 < naive,
+            "packed {} bytes vs naive {} bytes",
+            buf.len(),
+            naive
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE0000"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_file_is_an_error_not_a_panic() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        for cut in [5, 16, buf.len() / 2, buf.len() - 1] {
+            assert!(read_trace(&buf[..cut]).is_err(), "cut at {cut} must fail cleanly");
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let t = Trace::new();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf[4] = 99;
+        assert!(matches!(read_trace(buf.as_slice()), Err(ReadTraceError::BadVersion(99))));
+    }
+
+    #[test]
+    fn varint_round_trips_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn file_helpers_round_trip() {
+        let dir = std::env::temp_dir().join("branchnet-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bntr");
+        let t = sample_trace();
+        save_trace(&path, &t).unwrap();
+        assert_eq!(load_trace(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+}

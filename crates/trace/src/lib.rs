@@ -1,0 +1,39 @@
+//! Branch-trace infrastructure for the BranchNet reproduction.
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`record`] — the [`BranchRecord`](record::BranchRecord) unit of a
+//!   trace and the [`BranchKind`](record::BranchKind) taxonomy,
+//! * [`trace`] — in-memory [`Trace`](trace::Trace) containers and the
+//!   train/validation/test [`TraceSet`](trace::TraceSet) partitioning used
+//!   by the offline-training methodology (Table III of the paper),
+//! * [`history`] — global direction history, path history, the
+//!   cyclic-shift-register *folded* histories TAGE uses for indexing, and
+//!   the `p`-bit-PC ⊕ direction encoding BranchNet consumes,
+//! * [`stats`] — per-branch accuracy accounting, MPKI computation, and
+//!   hard-to-predict branch ranking.
+//!
+//! # Example
+//!
+//! ```
+//! use branchnet_trace::record::BranchRecord;
+//! use branchnet_trace::trace::Trace;
+//!
+//! let mut trace = Trace::new();
+//! trace.push(BranchRecord::conditional(0x400_100, true));
+//! trace.push(BranchRecord::conditional(0x400_200, false));
+//! assert_eq!(trace.len(), 2);
+//! assert_eq!(trace.records()[0].pc, 0x400_100);
+//! ```
+
+pub mod history;
+pub mod io;
+pub mod record;
+pub mod stats;
+pub mod trace;
+
+pub use history::{FoldedHistory, GlobalHistory, HistoryRegister, PathHistory};
+pub use io::{load_trace, read_trace, save_trace, write_trace, ReadTraceError};
+pub use record::{BranchKind, BranchRecord};
+pub use stats::{BranchStats, MispredictionRanking, PredictionStats};
+pub use trace::{Trace, TraceSet};

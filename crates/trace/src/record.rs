@@ -1,0 +1,147 @@
+//! The unit of a branch trace: one dynamic branch instance.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a control-flow instruction.
+///
+/// The BranchNet paper (and TAGE-SC-L) primarily predicts *conditional*
+/// branches; other kinds still shift the path history and are kept in
+/// traces so history contents are realistic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum BranchKind {
+    /// A conditional direct branch (the prediction target).
+    #[default]
+    Conditional,
+    /// An unconditional direct jump.
+    Jump,
+    /// A direct call.
+    Call,
+    /// A return.
+    Return,
+    /// An indirect jump or call.
+    Indirect,
+}
+
+impl BranchKind {
+    /// Whether this kind of branch has a direction to predict.
+    #[must_use]
+    pub fn is_conditional(self) -> bool {
+        matches!(self, BranchKind::Conditional)
+    }
+}
+
+/// One dynamic branch occurrence in a program trace.
+///
+/// `pc` is the address of the branch instruction, `target` the address
+/// control went to when taken (used only for path history), and `taken`
+/// the resolved direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchRecord {
+    /// Address of the branch instruction.
+    pub pc: u64,
+    /// Resolved direction (always `true` for unconditional kinds).
+    pub taken: bool,
+    /// Branch target address when taken.
+    pub target: u64,
+    /// Kind of control-flow instruction.
+    pub kind: BranchKind,
+    /// Number of non-branch instructions retired since the previous
+    /// branch. Used for instruction counting (MPKI) and IPC simulation.
+    pub inst_gap: u16,
+}
+
+impl BranchRecord {
+    /// Creates a conditional branch record with a default fall-through
+    /// style target and a small instruction gap.
+    ///
+    /// ```
+    /// use branchnet_trace::record::BranchRecord;
+    /// let r = BranchRecord::conditional(0x1000, true);
+    /// assert!(r.kind.is_conditional());
+    /// assert!(r.taken);
+    /// ```
+    #[must_use]
+    pub fn conditional(pc: u64, taken: bool) -> Self {
+        Self { pc, taken, target: pc.wrapping_add(16), kind: BranchKind::Conditional, inst_gap: 4 }
+    }
+
+    /// Creates a conditional branch record with an explicit instruction
+    /// gap since the previous branch.
+    #[must_use]
+    pub fn conditional_with_gap(pc: u64, taken: bool, inst_gap: u16) -> Self {
+        Self { inst_gap, ..Self::conditional(pc, taken) }
+    }
+
+    /// Creates an unconditional branch record of the given kind.
+    #[must_use]
+    pub fn unconditional(pc: u64, target: u64, kind: BranchKind) -> Self {
+        debug_assert!(!kind.is_conditional());
+        Self { pc, taken: true, target, kind, inst_gap: 4 }
+    }
+
+    /// The `(p+1)`-bit integer encoding used as BranchNet's CNN input:
+    /// the low `pc_bits` of the PC concatenated with the direction bit
+    /// (direction in the least-significant position).
+    ///
+    /// ```
+    /// use branchnet_trace::record::BranchRecord;
+    /// let r = BranchRecord::conditional(0b1010_1100, true);
+    /// assert_eq!(r.encode(4), 0b1100_1 );
+    /// ```
+    #[must_use]
+    pub fn encode(&self, pc_bits: u32) -> u32 {
+        let mask = (1u64 << pc_bits) - 1;
+        (((self.pc & mask) as u32) << 1) | u32::from(self.taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conditional_constructor_sets_kind() {
+        let r = BranchRecord::conditional(0x42, false);
+        assert_eq!(r.kind, BranchKind::Conditional);
+        assert!(!r.taken);
+        assert_eq!(r.pc, 0x42);
+    }
+
+    #[test]
+    fn unconditional_is_always_taken() {
+        let r = BranchRecord::unconditional(0x10, 0x80, BranchKind::Call);
+        assert!(r.taken);
+        assert_eq!(r.target, 0x80);
+    }
+
+    #[test]
+    fn encode_packs_pc_and_direction() {
+        let taken = BranchRecord::conditional(0xFFF, true);
+        let not = BranchRecord::conditional(0xFFF, false);
+        assert_eq!(taken.encode(12), (0xFFF << 1) | 1);
+        assert_eq!(not.encode(12), 0xFFF << 1);
+        // Only low bits of the PC participate.
+        let high = BranchRecord::conditional(0xABCD_1234, true);
+        assert_eq!(high.encode(8), (0x34 << 1) | 1);
+    }
+
+    #[test]
+    fn encode_fits_in_p_plus_one_bits() {
+        for pc in [0u64, 1, 0xFFFF_FFFF, u64::MAX] {
+            for taken in [false, true] {
+                let mut r = BranchRecord::conditional(pc, taken);
+                r.taken = taken;
+                let e = r.encode(12);
+                assert!(e < (1 << 13));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_kind_conditional_check() {
+        assert!(BranchKind::Conditional.is_conditional());
+        for k in [BranchKind::Jump, BranchKind::Call, BranchKind::Return, BranchKind::Indirect] {
+            assert!(!k.is_conditional());
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Prediction-accuracy accounting: accuracy, MPKI, and hard-to-predict
+//! branch ranking.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate prediction statistics over a stream of conditional
+/// branches. Counters are `f64` so traces can be merged with SimPoint
+/// weights (paper Section VI-A).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictionStats {
+    predictions: f64,
+    mispredictions: f64,
+    instructions: f64,
+}
+
+impl PredictionStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one predicted branch: whether the prediction was
+    /// `correct` and how many non-branch instructions (`inst_gap`)
+    /// preceded it.
+    pub fn record(&mut self, correct: bool, inst_gap: u16) {
+        self.predictions += 1.0;
+        if !correct {
+            self.mispredictions += 1.0;
+        }
+        self.instructions += 1.0 + f64::from(inst_gap);
+    }
+
+    /// Records instructions that carried no conditional branch (e.g.
+    /// unconditional control flow in the trace).
+    pub fn record_instructions(&mut self, count: u64) {
+        self.instructions += count as f64;
+    }
+
+    /// Adds `other` scaled by `weight` into `self`.
+    pub fn merge_weighted(&mut self, other: &PredictionStats, weight: f64) {
+        self.predictions += other.predictions * weight;
+        self.mispredictions += other.mispredictions * weight;
+        self.instructions += other.instructions * weight;
+    }
+
+    /// Adds `other` with unit weight.
+    pub fn merge(&mut self, other: &PredictionStats) {
+        self.merge_weighted(other, 1.0);
+    }
+
+    /// Number of predictions (possibly weighted).
+    #[must_use]
+    pub fn predictions(&self) -> f64 {
+        self.predictions
+    }
+
+    /// Number of mispredictions (possibly weighted).
+    #[must_use]
+    pub fn mispredictions(&self) -> f64 {
+        self.mispredictions
+    }
+
+    /// Instructions covered (possibly weighted).
+    #[must_use]
+    pub fn instructions(&self) -> f64 {
+        self.instructions
+    }
+
+    /// Fraction of correct predictions; 1.0 when nothing was predicted.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        if self.predictions == 0.0 {
+            1.0
+        } else {
+            1.0 - self.mispredictions / self.predictions
+        }
+    }
+
+    /// Mispredictions per kilo-instruction — the paper's headline
+    /// metric; 0.0 when no instructions were recorded.
+    #[must_use]
+    pub fn mpki(&self) -> f64 {
+        if self.instructions == 0.0 {
+            0.0
+        } else {
+            1000.0 * self.mispredictions / self.instructions
+        }
+    }
+}
+
+/// Per-static-branch prediction statistics, keyed by PC. Used to rank
+/// the 100 highest-MPKI branches in the validation set (paper
+/// Section V-E) and to report per-branch accuracies (Fig. 10).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BranchStats {
+    per_pc: HashMap<u64, PredictionStats>,
+    totals: PredictionStats,
+}
+
+impl BranchStats {
+    /// Creates empty per-branch statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction for the branch at `pc`.
+    pub fn record(&mut self, pc: u64, correct: bool, inst_gap: u16) {
+        self.per_pc.entry(pc).or_default().record(correct, inst_gap);
+        self.totals.record(correct, inst_gap);
+    }
+
+    /// Statistics for one static branch, if it was ever seen.
+    #[must_use]
+    pub fn get(&self, pc: u64) -> Option<&PredictionStats> {
+        self.per_pc.get(&pc)
+    }
+
+    /// Aggregate statistics across all branches.
+    #[must_use]
+    pub fn totals(&self) -> &PredictionStats {
+        &self.totals
+    }
+
+    /// Number of distinct static branches seen.
+    #[must_use]
+    pub fn static_branch_count(&self) -> usize {
+        self.per_pc.len()
+    }
+
+    /// Ranks static branches by absolute misprediction count,
+    /// descending — the paper's proxy for per-branch MPKI contribution
+    /// (shared instruction denominator). Ties break by PC for
+    /// determinism.
+    #[must_use]
+    pub fn rank_by_mispredictions(&self) -> MispredictionRanking {
+        let mut entries: Vec<(u64, PredictionStats)> =
+            self.per_pc.iter().map(|(pc, s)| (*pc, *s)).collect();
+        entries.sort_by(|a, b| {
+            b.1.mispredictions()
+                .partial_cmp(&a.1.mispredictions())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        MispredictionRanking { entries, total_instructions: self.totals.instructions() }
+    }
+
+    /// Iterates over `(pc, stats)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &PredictionStats)> {
+        self.per_pc.iter().map(|(pc, s)| (*pc, s))
+    }
+
+    /// Merges another accumulation into this one (e.g. per-trace
+    /// evaluations combined across a validation set).
+    pub fn merge(&mut self, other: &BranchStats) {
+        for (pc, s) in other.iter() {
+            self.per_pc.entry(pc).or_default().merge(s);
+        }
+        self.totals.merge(&other.totals);
+    }
+}
+
+/// Static branches ordered most-mispredicted first.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MispredictionRanking {
+    entries: Vec<(u64, PredictionStats)>,
+    total_instructions: f64,
+}
+
+impl MispredictionRanking {
+    /// The `k` most-mispredicted branch PCs.
+    #[must_use]
+    pub fn top_pcs(&self, k: usize) -> Vec<u64> {
+        self.entries.iter().take(k).map(|(pc, _)| *pc).collect()
+    }
+
+    /// All ranked `(pc, stats)` entries, most-mispredicted first.
+    #[must_use]
+    pub fn entries(&self) -> &[(u64, PredictionStats)] {
+        &self.entries
+    }
+
+    /// MPKI contributed by the top `k` branches alone: the
+    /// mispredictions that would vanish if those branches became
+    /// perfectly predicted (the Fig. 1 headroom decomposition).
+    #[must_use]
+    pub fn mpki_of_top(&self, k: usize) -> f64 {
+        if self.total_instructions == 0.0 {
+            return 0.0;
+        }
+        let mis: f64 = self.entries.iter().take(k).map(|(_, s)| s.mispredictions()).sum();
+        1000.0 * mis / self.total_instructions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_of_empty_stats_is_one() {
+        assert!((PredictionStats::new().accuracy() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(PredictionStats::new().mpki(), 0.0);
+    }
+
+    #[test]
+    fn mpki_counts_mispredictions_per_kilo_instruction() {
+        let mut s = PredictionStats::new();
+        // 10 branches, each preceded by 99 instructions => 1000 insts.
+        for i in 0..10 {
+            s.record(i % 2 == 0, 99);
+        }
+        assert!((s.instructions() - 1000.0).abs() < f64::EPSILON);
+        assert!((s.mpki() - 5.0).abs() < 1e-12);
+        assert!((s.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_weighted_scales_all_counters() {
+        let mut a = PredictionStats::new();
+        a.record(false, 9);
+        let mut agg = PredictionStats::new();
+        agg.merge_weighted(&a, 3.0);
+        assert!((agg.predictions() - 3.0).abs() < f64::EPSILON);
+        assert!((agg.mispredictions() - 3.0).abs() < f64::EPSILON);
+        assert!((agg.instructions() - 30.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn ranking_orders_by_misprediction_count() {
+        let mut bs = BranchStats::new();
+        // pc 0x10: 3 mispredicts; pc 0x20: 1; pc 0x30: 0.
+        for _ in 0..3 {
+            bs.record(0x10, false, 0);
+        }
+        bs.record(0x20, false, 0);
+        bs.record(0x30, true, 0);
+        let ranking = bs.rank_by_mispredictions();
+        assert_eq!(ranking.top_pcs(2), vec![0x10, 0x20]);
+        assert_eq!(ranking.top_pcs(10), vec![0x10, 0x20, 0x30]);
+    }
+
+    #[test]
+    fn mpki_of_top_is_headroom_decomposition() {
+        let mut bs = BranchStats::new();
+        // 4 branches, 1 inst_gap each => 4 * 2 = 8 instructions? gap=249
+        // Use gap so totals are 1000 instructions: 4 * 250 = 1000.
+        bs.record(0x10, false, 249);
+        bs.record(0x10, false, 249);
+        bs.record(0x20, false, 249);
+        bs.record(0x30, true, 249);
+        let r = bs.rank_by_mispredictions();
+        assert!((r.mpki_of_top(1) - 2.0).abs() < 1e-12);
+        assert!((r.mpki_of_top(2) - 3.0).abs() < 1e-12);
+        assert!((bs.totals().mpki() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_ties_break_by_pc() {
+        let mut bs = BranchStats::new();
+        bs.record(0x30, false, 0);
+        bs.record(0x10, false, 0);
+        bs.record(0x20, false, 0);
+        assert_eq!(bs.rank_by_mispredictions().top_pcs(3), vec![0x10, 0x20, 0x30]);
+    }
+
+    #[test]
+    fn static_branch_count_tracks_distinct_pcs() {
+        let mut bs = BranchStats::new();
+        bs.record(1, true, 0);
+        bs.record(1, false, 0);
+        bs.record(2, true, 0);
+        assert_eq!(bs.static_branch_count(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Trace containers and the offline-training partitioning.
+
+use crate::record::BranchRecord;
+use crate::stats::PredictionStats;
+use serde::{Deserialize, Serialize};
+
+/// An in-memory branch trace: the sequence of dynamic branches retired
+/// by one run of a program (one "input"), in program order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<BranchRecord>,
+    /// SimPoint-style weight of this trace when aggregating statistics
+    /// across traces (paper Section VI-A). Defaults to 1.0.
+    weight: f64,
+    /// Human-readable label, e.g. the workload input that produced it.
+    label: String,
+}
+
+impl Trace {
+    /// Creates an empty, unit-weight trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { records: Vec::new(), weight: 1.0, label: String::new() }
+    }
+
+    /// Creates an empty trace with a label and SimPoint weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    #[must_use]
+    pub fn with_label(label: impl Into<String>, weight: f64) -> Self {
+        assert!(weight.is_finite() && weight > 0.0, "trace weight must be positive");
+        Self { records: Vec::new(), weight, label: label.into() }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: BranchRecord) {
+        self.records.push(record);
+    }
+
+    /// The recorded branches in program order.
+    #[must_use]
+    pub fn records(&self) -> &[BranchRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// SimPoint weight of this trace.
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// Label describing the producing input.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Total retired instructions represented by this trace (branches
+    /// plus their `inst_gap` preambles); the MPKI denominator.
+    #[must_use]
+    pub fn instruction_count(&self) -> u64 {
+        self.records.iter().map(|r| 1 + u64::from(r.inst_gap)).sum()
+    }
+
+    /// Iterates over records.
+    pub fn iter(&self) -> std::slice::Iter<'_, BranchRecord> {
+        self.records.iter()
+    }
+}
+
+impl FromIterator<BranchRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = BranchRecord>>(iter: T) -> Self {
+        Self { records: iter.into_iter().collect(), weight: 1.0, label: String::new() }
+    }
+}
+
+impl Extend<BranchRecord> for Trace {
+    fn extend<T: IntoIterator<Item = BranchRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a BranchRecord;
+    type IntoIter = std::slice::Iter<'a, BranchRecord>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// The three mutually-exclusive trace partitions of the offline
+/// training methodology (paper Table III): training traces come from
+/// some program inputs, validation from others, and the reported test
+/// numbers from yet others (the "ref" inputs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Traces used to fit model weights.
+    pub train: Vec<Trace>,
+    /// Traces used to pick hard branches and select improved models.
+    pub valid: Vec<Trace>,
+    /// Unseen-input traces; all reported numbers are measured here.
+    pub test: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty trace set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total dynamic branches across all partitions.
+    #[must_use]
+    pub fn total_branches(&self) -> usize {
+        self.train.iter().chain(&self.valid).chain(&self.test).map(Trace::len).sum()
+    }
+
+    /// Weighted aggregate of per-trace statistics over the test
+    /// partition, using each trace's SimPoint weight.
+    #[must_use]
+    pub fn weighted_test_stats<F>(&self, mut eval: F) -> PredictionStats
+    where
+        F: FnMut(&Trace) -> PredictionStats,
+    {
+        let mut agg = PredictionStats::default();
+        for t in &self.test {
+            agg.merge_weighted(&eval(t), t.weight());
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::BranchRecord;
+
+    fn mini_trace(n: usize, taken: bool) -> Trace {
+        (0..n).map(|i| BranchRecord::conditional(0x100 + i as u64 * 8, taken)).collect()
+    }
+
+    #[test]
+    fn trace_collects_and_counts() {
+        let t = mini_trace(10, true);
+        assert_eq!(t.len(), 10);
+        assert!(!t.is_empty());
+        // Each record contributes 1 + inst_gap(4) instructions.
+        assert_eq!(t.instruction_count(), 50);
+    }
+
+    #[test]
+    fn trace_weight_defaults_to_one() {
+        assert!((Trace::new().weight() - 1.0).abs() < f64::EPSILON);
+        let t = Trace::with_label("leela/train1", 0.25);
+        assert!((t.weight() - 0.25).abs() < f64::EPSILON);
+        assert_eq!(t.label(), "leela/train1");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn trace_rejects_nonpositive_weight() {
+        let _ = Trace::with_label("bad", 0.0);
+    }
+
+    #[test]
+    fn trace_set_counts_all_partitions() {
+        let mut ts = TraceSet::new();
+        ts.train.push(mini_trace(3, true));
+        ts.valid.push(mini_trace(4, false));
+        ts.test.push(mini_trace(5, true));
+        assert_eq!(ts.total_branches(), 12);
+    }
+
+    #[test]
+    fn weighted_test_stats_respects_weights() {
+        let mut ts = TraceSet::new();
+        let mut a = Trace::with_label("a", 2.0);
+        a.extend(mini_trace(4, true).iter().copied());
+        let mut b = Trace::with_label("b", 1.0);
+        b.extend(mini_trace(4, false).iter().copied());
+        ts.test = vec![a, b];
+        // Predictor that always says taken: perfect on `a`, 0% on `b`.
+        let stats = ts.weighted_test_stats(|t| {
+            let mut s = PredictionStats::default();
+            for r in t {
+                s.record(r.taken, r.inst_gap);
+            }
+            s
+        });
+        // Weighted accuracy = (2*4 correct) / (2*4 + 1*4 predictions) = 2/3.
+        assert!((stats.accuracy() - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,43 @@
+//! Synthetic workload generators standing in for the paper's SPEC2017
+//! Integer Speed traces.
+//!
+//! The BranchNet paper's claims are about *classes* of branch
+//! behaviour, not about SPEC binaries per se:
+//!
+//! * branches whose direction correlates with the **occurrence counts**
+//!   of other branches buried deep in a **noisy** global history
+//!   (leela, mcf, xz, deepsjeng — the big BranchNet winners),
+//! * **data-dependent** branches with no history signal at all
+//!   (omnetpp — BranchNet cannot help),
+//! * mispredictions **diffused** over many static branches (gcc —
+//!   per-branch models do not pay off),
+//! * and mostly-predictable codes (x264, exchange2, perlbench,
+//!   xalancbmk — little opportunity).
+//!
+//! Each generator in [`spec`] is a small branching "program" with a
+//! [`ProgramInput`] (the program's input: a seed plus behavioural
+//! knobs). Different inputs exercise different control-flow
+//! distributions, which is exactly what the paper's offline-training
+//! methodology requires: models are trained on some inputs and
+//! evaluated on *unseen* ones (Table III). The [`motivating`] module
+//! reproduces the two-loop microbenchmark of Fig. 3/4 exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use branchnet_workloads::spec::{Benchmark, SpecSuite};
+//!
+//! let leela = SpecSuite::benchmark(Benchmark::Leela);
+//! let traces = leela.trace_set(20_000);
+//! assert_eq!(traces.train.len(), 3);
+//! assert_eq!(traces.valid.len(), 2);
+//! assert_eq!(traces.test.len(), 3);
+//! ```
+
+pub mod motivating;
+pub mod program;
+pub mod spec;
+
+pub use motivating::{MotivatingConfig, MotivatingWorkload};
+pub use program::{ProgramInput, TraceBuilder};
+pub use spec::{Benchmark, SpecSuite, SpecWorkload};

@@ -1,0 +1,229 @@
+//! The paper's Fig. 3 motivating microbenchmark.
+//!
+//! ```c
+//! int x = 0;
+//! for (int i = 0; i < N; ++i) {        // Branch L (loop)
+//!     if (random_condition(alpha)) {   // Branch A
+//!     } else {
+//!         x += 1;                      // x counts A's not-taken runs
+//!     }
+//!     uncorrelated_function();         // ~20 noisy branches
+//! }
+//! for (int j = 0; j < x; ++j) {        // Branch B: exits when j == x
+//!     uncorrelated_function();
+//! }
+//! ```
+//!
+//! Branch B is taken while the loop continues and **not taken at
+//! exit** (we emit it as "taken = continue"), so its direction is a
+//! pure function of two occurrence counts visible in the global
+//! history: not-taken instances of A (= x) and taken instances of B
+//! since the loop began (= j). Fig. 4 of the paper trains CNNs on
+//! three input sets of this program and tests generalization to unseen
+//! α / N ranges; [`MotivatingConfig::fig4_training_sets`] reproduces
+//! those sets.
+
+use crate::program::{ProgramInput, TraceBuilder};
+use branchnet_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// PC of the first loop's backward branch.
+pub const PC_LOOP: u64 = 0x0120;
+/// PC of branch A (the probabilistic increment guard).
+pub const PC_A: u64 = 0x0100;
+/// PC of branch B (the hard-to-predict second-loop exit).
+pub const PC_B: u64 = 0x0200;
+/// Base PC of the noise branches.
+pub const PC_NOISE: u64 = 0x0300;
+
+/// Input distribution of the motivating program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotivatingConfig {
+    /// Probability branch A is **taken** (the paper's
+    /// `random_condition(alpha)`; `x` increments when A is not taken).
+    pub alpha: f64,
+    /// Minimum of the uniform N distribution.
+    pub n_min: u64,
+    /// Maximum of the uniform N distribution.
+    pub n_max: u64,
+    /// Noisy branches emitted per iteration (paper uses ~20).
+    pub noise_branches: usize,
+}
+
+impl MotivatingConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_min > n_max` or `n_min == 0`.
+    #[must_use]
+    pub fn new(alpha: f64, n_min: u64, n_max: u64, noise_branches: usize) -> Self {
+        assert!(n_min <= n_max && n_min > 0);
+        Self { alpha, n_min, n_max, noise_branches }
+    }
+
+    /// The Fig. 4 training sets. The paper uses
+    /// (1) `N = 10, α = 1`, (2) `N ~ rand(5,10), α = 1`,
+    /// (3) `N ~ rand(1,4), α = 0.5` with ~20 noise branches.
+    ///
+    /// This reproduction keeps sets (1) and (2) verbatim (they are
+    /// degenerate by design: α = 1 pins `x = 0`) and widens set (3)'s
+    /// coverage to two profiled inputs — `(α = 0.5, N ~ rand(2, 8))`
+    /// and `(α = 0.9, N ~ rand(2, 8))`: at our training scale, SGD
+    /// does not extrapolate counts to history depths or boundary
+    /// regimes it never saw, so the coverage-vs-representativeness
+    /// claim is carried by α (trained at {0.5, 0.9}, tested on
+    /// 0.2–1.0 including both unseen endpoints) and by test N values
+    /// (9, 10) absent from training. Noise is scaled from 20 to 4
+    /// branches per iteration to keep required history depth within
+    /// the scaled models (see DESIGN.md).
+    #[must_use]
+    pub fn fig4_training_sets() -> [Vec<MotivatingConfig>; 3] {
+        [
+            vec![MotivatingConfig::new(1.0, 10, 10, Self::FIG4_NOISE)],
+            vec![MotivatingConfig::new(1.0, 5, 10, Self::FIG4_NOISE)],
+            vec![
+                MotivatingConfig::new(0.5, 2, 8, Self::FIG4_NOISE),
+                MotivatingConfig::new(0.9, 2, 8, Self::FIG4_NOISE),
+            ],
+        ]
+    }
+
+    /// Noise branches per iteration in the Fig. 4 reproduction.
+    pub const FIG4_NOISE: usize = 4;
+
+    /// The Fig. 4 evaluation distribution: `N ~ rand(5,10)` with a
+    /// caller-chosen α sweep point.
+    #[must_use]
+    pub fn fig4_test(alpha: f64) -> MotivatingConfig {
+        MotivatingConfig::new(alpha, 5, 10, Self::FIG4_NOISE)
+    }
+}
+
+/// Generator for the motivating microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct MotivatingWorkload {
+    config: MotivatingConfig,
+}
+
+impl MotivatingWorkload {
+    /// Creates the workload from an input distribution.
+    #[must_use]
+    pub fn new(config: MotivatingConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configured input distribution.
+    #[must_use]
+    pub fn config(&self) -> &MotivatingConfig {
+        &self.config
+    }
+
+    /// Generates a trace of roughly `branches` records using `seed`.
+    #[must_use]
+    pub fn generate(&self, seed: u64, branches: usize) -> Trace {
+        let c = self.config;
+        let input = ProgramInput::new(
+            format!("motivating(a={},N={}..{})", c.alpha, c.n_min, c.n_max),
+            seed,
+            vec![],
+        );
+        let mut b = TraceBuilder::new(&input, branches);
+        while !b.is_full() {
+            // First loop: accumulate x.
+            let n = b.uniform(c.n_min, c.n_max);
+            let mut x = 0u64;
+            for i in 0..n {
+                b.loop_branch(PC_LOOP, i + 1 < n);
+                let a_taken = b.coin(c.alpha);
+                b.branch(PC_A, a_taken);
+                if !a_taken {
+                    x += 1;
+                }
+                b.noise(PC_NOISE, c.noise_branches);
+            }
+            // Second loop: B is taken while j < x (continue), not taken
+            // at exit. Emitted once even when x == 0 (the exit test).
+            for j in 0..=x {
+                b.loop_branch(PC_B, j < x);
+                if j < x {
+                    b.noise(PC_NOISE + 0x100, c.noise_branches / 2);
+                }
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_b_direction_counts_match() {
+        // Invariant: per program round, B is taken exactly x times and
+        // not-taken once, where x = # not-taken A's in the round.
+        let w = MotivatingWorkload::new(MotivatingConfig::new(0.5, 3, 6, 4));
+        let t = w.generate(1, 5_000);
+        let mut x = 0i64;
+        let mut b_taken_run = 0i64;
+        for r in &t {
+            match r.pc {
+                PC_A => {
+                    if !r.taken {
+                        x += 1;
+                    }
+                }
+                PC_B => {
+                    if r.taken {
+                        b_taken_run += 1;
+                    } else {
+                        // At exit the number of taken B's equals x.
+                        assert_eq!(b_taken_run, x, "B trip count must equal x");
+                        x = 0;
+                        b_taken_run = 0;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_one_means_a_always_taken_and_b_exits_immediately() {
+        let w = MotivatingWorkload::new(MotivatingConfig::new(1.0, 5, 10, 2));
+        let t = w.generate(3, 2_000);
+        assert!(t.iter().filter(|r| r.pc == PC_A).all(|r| r.taken));
+        assert!(t.iter().filter(|r| r.pc == PC_B).all(|r| !r.taken));
+    }
+
+    #[test]
+    fn fig4_training_sets_shapes() {
+        let sets = MotivatingConfig::fig4_training_sets();
+        // Sets (1) and (2) are the paper's degenerate distributions.
+        assert_eq!((sets[0][0].n_min, sets[0][0].n_max, sets[0][0].alpha), (10, 10, 1.0));
+        assert_eq!((sets[1][0].n_min, sets[1][0].n_max, sets[1][0].alpha), (5, 10, 1.0));
+        // Set (3) is diverse: probabilistic A at two biases and a
+        // spread of N that still excludes the largest test values.
+        assert!(sets[2].len() >= 2);
+        for c in &sets[2] {
+            assert!(c.alpha < 1.0);
+            assert!(c.n_max < 10 && c.n_min > 1);
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let w = MotivatingWorkload::new(MotivatingConfig::fig4_test(0.6));
+        assert_eq!(w.generate(9, 1000), w.generate(9, 1000));
+        assert_ne!(w.generate(9, 1000), w.generate(10, 1000));
+    }
+
+    #[test]
+    fn noise_branches_dominate_the_trace() {
+        let w = MotivatingWorkload::new(MotivatingConfig::new(0.5, 5, 10, 20));
+        let t = w.generate(5, 10_000);
+        let noisy = t.iter().filter(|r| r.pc >= PC_NOISE).count();
+        assert!(noisy * 2 > t.len(), "history must be noisy for the experiment to be honest");
+    }
+}

@@ -1,0 +1,565 @@
+//! Synthetic SPEC2017 Integer Speed benchmark analogues.
+//!
+//! Each generator reproduces the *branch-behaviour class* the paper
+//! reports for the corresponding benchmark (Sections IV, VI-B, VI-C):
+//!
+//! | Benchmark  | Hard-branch structure modeled | BranchNet opportunity |
+//! |------------|-------------------------------|----------------------|
+//! | leela      | property-count thresholds + count-length loops in a noisy history | large |
+//! | mcf        | qsort: random comparisons (hopeless) + count-balance body branches | large |
+//! | deepsjeng  | move-quality count vs. pruning threshold | large |
+//! | xz         | run-length copy loops (Fig. 3 structure) | large |
+//! | gcc        | mispredictions diffused over hundreds of weakly-biased branches | ~none |
+//! | omnetpp    | data-dependent event branches, no history signal | ~none |
+//! | x264       | regular macroblock loops, strongly biased tests | small |
+//! | exchange2  | constant-trip nested loops | small |
+//! | perlbench  | periodic dispatch patterns | small |
+//! | xalancbmk  | biased template dispatch | small |
+
+use crate::program::{ProgramInput, TraceBuilder};
+use branchnet_trace::{Trace, TraceSet};
+use serde::{Deserialize, Serialize};
+
+/// The ten SPEC2017 Integer Speed benchmarks the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Go engine: board-property evaluation.
+    Leela,
+    /// Network simplex: qsort-heavy.
+    Mcf,
+    /// Chess engine: alpha-beta search.
+    Deepsjeng,
+    /// LZMA compression: match/run-length loops.
+    Xz,
+    /// Compiler: enormous diffuse branch footprint.
+    Gcc,
+    /// Discrete-event simulator: data-dependent branches.
+    Omnetpp,
+    /// Video encoder: regular loops.
+    X264,
+    /// Digit puzzle: constant nested loops.
+    Exchange2,
+    /// Perl interpreter: dispatch patterns.
+    Perlbench,
+    /// XSLT processor: biased dispatch.
+    Xalancbmk,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's presentation order.
+    #[must_use]
+    pub fn all() -> [Benchmark; 10] {
+        [
+            Benchmark::Leela,
+            Benchmark::Mcf,
+            Benchmark::Deepsjeng,
+            Benchmark::Xz,
+            Benchmark::Gcc,
+            Benchmark::Omnetpp,
+            Benchmark::X264,
+            Benchmark::Exchange2,
+            Benchmark::Perlbench,
+            Benchmark::Xalancbmk,
+        ]
+    }
+
+    /// SPEC-style short name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Leela => "leela",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Deepsjeng => "deepsjeng",
+            Benchmark::Xz => "xz",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Omnetpp => "omnetpp",
+            Benchmark::X264 => "x264",
+            Benchmark::Exchange2 => "exchange2",
+            Benchmark::Perlbench => "perlbench",
+            Benchmark::Xalancbmk => "xalancbmk",
+        }
+    }
+
+    /// Whether the paper reports a large BranchNet MPKI win here
+    /// (used as a shape check in integration tests).
+    #[must_use]
+    pub fn is_branchnet_friendly(self) -> bool {
+        matches!(self, Benchmark::Leela | Benchmark::Mcf | Benchmark::Deepsjeng | Benchmark::Xz)
+    }
+}
+
+/// Entry point for building benchmark workloads.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpecSuite;
+
+impl SpecSuite {
+    /// The workload for one benchmark.
+    #[must_use]
+    pub fn benchmark(bench: Benchmark) -> SpecWorkload {
+        SpecWorkload { bench }
+    }
+
+    /// All ten workloads.
+    #[must_use]
+    pub fn all() -> Vec<SpecWorkload> {
+        Benchmark::all().into_iter().map(|b| SpecWorkload { bench: b }).collect()
+    }
+}
+
+/// A benchmark plus its Table-III-style input partition.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecWorkload {
+    bench: Benchmark,
+}
+
+impl SpecWorkload {
+    /// Which benchmark this is.
+    #[must_use]
+    pub fn benchmark(&self) -> Benchmark {
+        self.bench
+    }
+
+    /// SPEC-style short name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.bench.name()
+    }
+
+    /// The input partition mirroring the paper's Table III: training
+    /// inputs (SPEC train + Alberta), validation inputs (Alberta), and
+    /// test inputs (SPEC ref) — all mutually exclusive, with test
+    /// knobs *outside* the training ranges where generalization is the
+    /// point.
+    #[must_use]
+    pub fn inputs(&self) -> InputPartition {
+        // knobs[0]: behaviour probability p; knobs[1]: scale of inner
+        // loop sizes. Train spans coverage; test sits elsewhere.
+        let mk = |label: &str, seed: u64, p: f64, scale: f64| {
+            ProgramInput::new(label, seed, vec![p, scale])
+        };
+        InputPartition {
+            train: vec![
+                mk("train-1", 0x1001, 0.35, 0.8),
+                mk("train-2", 0x1002, 0.55, 1.2),
+                mk("train-3", 0x1003, 0.75, 1.6),
+            ],
+            valid: vec![mk("valid-1", 0x2001, 0.45, 1.0), mk("valid-2", 0x2002, 0.65, 1.4)],
+            test: vec![
+                mk("ref-1", 0x3001, 0.40, 1.1),
+                mk("ref-2", 0x3002, 0.60, 1.3),
+                mk("ref-3", 0x3003, 0.70, 1.5),
+            ],
+        }
+    }
+
+    /// Generates one trace for `input` of roughly `branches` records.
+    #[must_use]
+    pub fn generate(&self, input: &ProgramInput, branches: usize) -> Trace {
+        let mut b = TraceBuilder::new(input, branches);
+        match self.bench {
+            Benchmark::Leela => gen_leela(&mut b, input),
+            Benchmark::Mcf => gen_mcf(&mut b, input),
+            Benchmark::Deepsjeng => gen_deepsjeng(&mut b, input),
+            Benchmark::Xz => gen_xz(&mut b, input),
+            Benchmark::Gcc => gen_gcc(&mut b, input),
+            Benchmark::Omnetpp => gen_omnetpp(&mut b, input),
+            Benchmark::X264 => gen_x264(&mut b, input),
+            Benchmark::Exchange2 => gen_exchange2(&mut b, input),
+            Benchmark::Perlbench => gen_perlbench(&mut b, input),
+            Benchmark::Xalancbmk => gen_xalancbmk(&mut b, input),
+        }
+        b.finish()
+    }
+
+    /// Builds the full train/valid/test [`TraceSet`] with
+    /// `branches_per_trace` records per input.
+    #[must_use]
+    pub fn trace_set(&self, branches_per_trace: usize) -> TraceSet {
+        let parts = self.inputs();
+        let gen_all = |inputs: &[ProgramInput]| {
+            inputs.iter().map(|i| self.generate(i, branches_per_trace)).collect()
+        };
+        TraceSet {
+            train: gen_all(&parts.train),
+            valid: gen_all(&parts.valid),
+            test: gen_all(&parts.test),
+        }
+    }
+}
+
+/// The Table III input partition.
+#[derive(Debug, Clone)]
+pub struct InputPartition {
+    /// Inputs whose traces fit model weights.
+    pub train: Vec<ProgramInput>,
+    /// Inputs used for branch selection.
+    pub valid: Vec<ProgramInput>,
+    /// Unseen inputs; all reported numbers come from these.
+    pub test: Vec<ProgramInput>,
+}
+
+// ---------------------------------------------------------------------------
+// Generators. Each "program" is a loop of rounds; PC regions are
+// disjoint per benchmark so hybrid predictors can attach models by PC.
+// ---------------------------------------------------------------------------
+
+/// leela: board scans over points with a hidden per-point property.
+/// The *first* branch testing a property is data-dependent (nothing in
+/// history predicts it — mirroring the paper's note that BranchNet
+/// cannot fix such branches), but several later branches re-examine
+/// the **same** property at nondeterministic history distances — the
+/// paper's "branches in the global history that depend on a shared
+/// property". Evaluation branches threshold property *counts*, and a
+/// liberty-walk loop's trip count *is* one of the counts (Fig. 3
+/// structure).
+fn gen_leela(b: &mut TraceBuilder, input: &ProgramInput) {
+    let p = input.knob(0, 0.5);
+    let scale = input.knob(1, 1.0);
+    while !b.is_full() {
+        let m = b.uniform((4.0 * scale) as u64 + 2, (10.0 * scale) as u64 + 2);
+        let mut p1 = 0u64;
+        for i in 0..m {
+            b.loop_branch(0x1020, i + 1 < m);
+            // Hidden board property of this point (data-dependent).
+            let has_liberty = b.coin(p);
+            b.branch(0x1100, has_liberty);
+            if has_liberty {
+                p1 += 1;
+            }
+            // Branches that re-test the shared property after a
+            // nondeterministic amount of unrelated work.
+            let gap = b.uniform(0, 2) as usize;
+            b.noise(0x1300, gap);
+            b.branch(0x1108, has_liberty);
+            b.noise(0x1300, 3);
+            let occupied = !has_liberty || b.coin(0.9);
+            b.branch(0x1110, occupied);
+            b.noise(0x1300, 2);
+        }
+        // Property-count thresholds (the paper's board evaluations).
+        b.branch(0x1200, p1 * 2 > m);
+        b.branch(0x1208, p1 * 3 > m);
+        b.branch(0x1210, p1 + 2 < m);
+        // Liberty walk: trip count equals p1 (Fig. 3 structure).
+        for j in 0..=p1 {
+            b.loop_branch(0x1218, j < p1);
+            if j < p1 {
+                b.noise(0x1400, 2);
+            }
+        }
+    }
+}
+
+/// mcf: qsort partition rounds. Comparison branches are data-random
+/// (not improvable); body branches threshold the running comparison
+/// balance, buried at nondeterministic distances.
+fn gen_mcf(b: &mut TraceBuilder, input: &ProgramInput) {
+    let scale = input.knob(1, 1.0);
+    while !b.is_full() {
+        let len = b.uniform((6.0 * scale) as u64 + 2, (14.0 * scale) as u64 + 2);
+        // Per-partition pivot bias: drawn per round => comparisons are
+        // unpredictable across rounds but consistent within one.
+        let pivot_bias = 0.3 + 0.4 * (b.uniform(0, 1000) as f64 / 1000.0);
+        let mut taken_cnt = 0u64;
+        for i in 0..len {
+            b.loop_branch(0x2020, i + 1 < len);
+            let cmp = b.coin(pivot_bias);
+            b.branch(0x2100, cmp);
+            if cmp {
+                taken_cnt += 1;
+            }
+            // Nondeterministic gap before the dependent body branch.
+            let gap = b.uniform(0, 3) as usize;
+            b.noise(0x2300, gap);
+            // Body branch: swap when the smaller side is still ahead —
+            // a function of the running count balance.
+            b.branch(0x2108, taken_cnt * 2 > i + 1);
+        }
+        // End-of-partition balance checks.
+        b.branch(0x2200, taken_cnt * 2 > len);
+        b.branch(0x2208, taken_cnt + 2 < len - taken_cnt || taken_cnt > len - taken_cnt + 2);
+        b.noise(0x2400, 4);
+    }
+}
+
+/// deepsjeng: per-node move scans; the pruning branch thresholds the
+/// good-move count against a depth-dependent cutoff.
+fn gen_deepsjeng(b: &mut TraceBuilder, input: &ProgramInput) {
+    let p = input.knob(0, 0.5);
+    let scale = input.knob(1, 1.0);
+    while !b.is_full() {
+        let depth = b.uniform(1, 4);
+        let moves = b.uniform((5.0 * scale) as u64 + 3, (12.0 * scale) as u64 + 3);
+        let mut good = 0u64;
+        for i in 0..moves {
+            b.loop_branch(0x3020, i + 1 < moves);
+            let g = b.coin(p * 0.9);
+            b.branch(0x3100, g);
+            if g {
+                good += 1;
+            }
+            b.noise(0x3300, 5);
+        }
+        // Prune when enough good moves accumulated relative to depth.
+        b.branch(0x3200, good >= depth + 2);
+        b.branch(0x3208, good * 3 >= moves);
+        // Depth loop: short and regular (predictable).
+        for d in 0..depth {
+            b.loop_branch(0x3028, d + 1 < depth);
+        }
+    }
+}
+
+/// xz: literal/match decisions accumulate a run length; the copy loop
+/// then executes exactly that many iterations (Fig. 3 structure with
+/// LZ77 flavor).
+fn gen_xz(b: &mut TraceBuilder, input: &ProgramInput) {
+    let p = input.knob(0, 0.5);
+    let scale = input.knob(1, 1.0);
+    while !b.is_full() {
+        let window = b.uniform((4.0 * scale) as u64 + 2, (9.0 * scale) as u64 + 2);
+        let mut run = 0u64;
+        for i in 0..window {
+            b.loop_branch(0x4020, i + 1 < window);
+            let literal = b.coin(p);
+            b.branch(0x4100, literal);
+            if !literal {
+                run += 1;
+            }
+            b.noise(0x4300, 4);
+        }
+        // Copy loop of exactly `run` iterations.
+        for j in 0..=run {
+            b.loop_branch(0x4200, j < run);
+            if j < run {
+                b.noise(0x4400, 2);
+            }
+        }
+        // Mode branch: biased but input-dependent.
+        b.branch(0x4108, b.len() % 7 != 0);
+    }
+}
+
+/// gcc: hundreds of weakly-biased, data-random branches. No branch
+/// dominates the misprediction budget and none carries history signal.
+fn gen_gcc(b: &mut TraceBuilder, input: &ProgramInput) {
+    let scale = input.knob(1, 1.0);
+    let static_branches = 320u64;
+    while !b.is_full() {
+        let run = b.uniform(20, 60);
+        for _ in 0..run {
+            let which = b.uniform(0, static_branches - 1);
+            // Per-PC bias derived from the PC itself; stable across
+            // inputs but each decision is an independent draw.
+            let bias = 0.55 + 0.35 * ((which * 7919 % 100) as f64 / 100.0) * scale.min(1.2);
+            let t = b.coin(bias.min(0.95));
+            b.branch(0x5000 + which * 8, t);
+        }
+        // Some predictable glue.
+        for i in 0..8 {
+            b.loop_branch(0x5A00, i < 7);
+        }
+    }
+}
+
+/// omnetpp: event-queue pops whose comparisons depend on event
+/// timestamps that never appear in branch history — pure noise to any
+/// history-based predictor, with some locally-patterned scaffolding.
+fn gen_omnetpp(b: &mut TraceBuilder, input: &ProgramInput) {
+    let p = input.knob(0, 0.5);
+    while !b.is_full() {
+        // The data-dependent hot branch (heap comparison).
+        let t = b.coin(0.45 + 0.2 * p);
+        b.branch(0x6100, t);
+        // A second data-dependent branch.
+        let t = b.coin(0.5);
+
+        b.branch(0x6108, t);
+        // Locally-patterned module dispatch (period 3) — gives local
+        // history components something to win on.
+        let phase = b.len() % 3;
+        b.branch(0x6200, phase != 2);
+        b.noise(0x6300, 3);
+        for i in 0..4 {
+            b.loop_branch(0x6020, i < 3);
+        }
+    }
+}
+
+/// x264: 16-wide macroblock double loops and strongly biased mode
+/// checks — little opportunity for anyone.
+fn gen_x264(b: &mut TraceBuilder, input: &ProgramInput) {
+    let p = input.knob(0, 0.5);
+    while !b.is_full() {
+        for i in 0..16u64 {
+            b.loop_branch(0x7020, i < 15);
+            for j in 0..4u64 {
+                b.loop_branch(0x7028, j < 3);
+            }
+            let t = b.coin(0.93);
+
+            b.branch(0x7100, t);
+        }
+        // Occasional data-dependent skip decision.
+        let t = b.coin(0.8 + 0.1 * p);
+
+        b.branch(0x7108, t);
+        b.noise(0x7300, 2);
+    }
+}
+
+/// exchange2: constant-trip (9-digit) nested loops; almost perfectly
+/// predictable by the loop predictor.
+fn gen_exchange2(b: &mut TraceBuilder, _input: &ProgramInput) {
+    while !b.is_full() {
+        for i in 0..9u64 {
+            b.loop_branch(0x8020, i < 8);
+            for j in 0..9u64 {
+                b.loop_branch(0x8028, j < 8);
+                b.branch(0x8100, (i + j) % 2 == 0);
+            }
+        }
+        let t = b.coin(0.97);
+
+        b.branch(0x8108, t);
+    }
+}
+
+/// perlbench: opcode dispatch with strong periodic patterns.
+fn gen_perlbench(b: &mut TraceBuilder, input: &ProgramInput) {
+    let p = input.knob(0, 0.5);
+    let pattern = [true, true, false, true, false, true, true, false];
+    while !b.is_full() {
+        let idx = b.len() % pattern.len();
+        b.branch(0x9100, pattern[idx]);
+        b.branch(0x9108, pattern[(idx + 3) % pattern.len()]);
+        let t = b.coin(0.97 + 0.02 * p);
+        b.branch(0x9110, t);
+        for i in 0..6u64 {
+            b.loop_branch(0x9020, i < 5);
+            b.branch(0x9030, true);
+        }
+    }
+}
+
+/// xalancbmk: biased template dispatch plus regular traversal loops.
+fn gen_xalancbmk(b: &mut TraceBuilder, input: &ProgramInput) {
+    let p = input.knob(0, 0.5);
+    while !b.is_full() {
+        // Fixed-arity traversal: the loop predictor nails it.
+        for i in 0..4u64 {
+            b.loop_branch(0xA020, i < 3);
+            let t = b.coin(0.985);
+            b.branch(0xA100, t);
+            b.branch(0xA110, i % 2 == 0);
+        }
+        let t = b.coin(0.96 + 0.03 * p);
+        b.branch(0xA108, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchnet_tage::{evaluate, TageScL, TageSclConfig};
+
+    #[test]
+    fn all_benchmarks_generate_requested_length() {
+        for w in SpecSuite::all() {
+            let input = &w.inputs().train[0];
+            let t = w.generate(input, 5_000);
+            assert!(t.len() >= 5_000, "{} produced {} branches", w.name(), t.len());
+            // Budget overshoot is bounded by one round.
+            assert!(t.len() <= 5_000, "builder must clamp at the limit");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let w = SpecSuite::benchmark(Benchmark::Mcf);
+        let i = &w.inputs().test[0];
+        assert_eq!(w.generate(i, 2_000), w.generate(i, 2_000));
+    }
+
+    #[test]
+    fn partitions_are_mutually_exclusive() {
+        let parts = SpecSuite::benchmark(Benchmark::Leela).inputs();
+        let mut seeds: Vec<u64> = parts
+            .train
+            .iter()
+            .chain(&parts.valid)
+            .chain(&parts.test)
+            .map(|i| i.seed)
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8, "all 8 inputs must be distinct");
+    }
+
+    #[test]
+    fn pc_regions_do_not_collide_across_benchmarks() {
+        let mut all_pcs: std::collections::HashMap<u64, &'static str> =
+            std::collections::HashMap::new();
+        for w in SpecSuite::all() {
+            let t = w.generate(&w.inputs().train[0], 3_000);
+            for r in &t {
+                if let Some(prev) = all_pcs.insert(r.pc, w.name()) {
+                    assert_eq!(prev, w.name(), "pc {:#x} used by {} and {}", r.pc, prev, w.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn friendly_benchmarks_have_high_tage_mpki() {
+        // The BranchNet-friendly benchmarks must actually be hard for
+        // TAGE-SC-L; the easy ones must be easy. This is the shape of
+        // the paper's Fig. 1.
+        let mut hard_min = f64::INFINITY;
+        let mut easy_max: f64 = 0.0;
+        for w in SpecSuite::all() {
+            let t = w.generate(&w.inputs().test[0], 60_000);
+            let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+            let stats = evaluate(&mut p, &t);
+            if w.benchmark().is_branchnet_friendly() {
+                hard_min = hard_min.min(stats.mpki());
+            } else if matches!(
+                w.benchmark(),
+                Benchmark::X264 | Benchmark::Exchange2 | Benchmark::Perlbench | Benchmark::Xalancbmk
+            ) {
+                easy_max = easy_max.max(stats.mpki());
+            }
+        }
+        assert!(
+            hard_min > easy_max,
+            "hard benchmarks (min MPKI {hard_min:.2}) must mispredict more than easy ones (max {easy_max:.2})"
+        );
+    }
+
+    #[test]
+    fn exchange2_is_nearly_perfectly_predicted() {
+        let w = SpecSuite::benchmark(Benchmark::Exchange2);
+        let t = w.generate(&w.inputs().test[0], 40_000);
+        let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let stats = evaluate(&mut p, &t);
+        assert!(stats.accuracy() > 0.98, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn omnetpp_hot_branch_is_data_dependent() {
+        // The hot branch's direction must be independent of its own
+        // history — verify autocorrelation is near zero.
+        let w = SpecSuite::benchmark(Benchmark::Omnetpp);
+        let t = w.generate(&w.inputs().train[0], 50_000);
+        let dirs: Vec<bool> = t.iter().filter(|r| r.pc == 0x6100).map(|r| r.taken).collect();
+        assert!(dirs.len() > 1000);
+        let mut agree = 0usize;
+        for w in dirs.windows(2) {
+            if w[0] == w[1] {
+                agree += 1;
+            }
+        }
+        let autocorr = agree as f64 / (dirs.len() - 1) as f64;
+        assert!((autocorr - 0.5).abs() < 0.05, "autocorrelation {autocorr}");
+    }
+}

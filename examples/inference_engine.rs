@@ -1,0 +1,74 @@
+//! Quantization and the on-chip inference engine (paper Section V-B):
+//! train a Mini-BranchNet, lower it through the quantization ladder,
+//! stream branches through the engine, and inspect its Table II
+//! storage breakdown and flush-recovery behaviour.
+//!
+//! ```text
+//! cargo run --release --example inference_engine
+//! ```
+
+use branchnet::core::config::BranchNetConfig;
+use branchnet::core::dataset::extract;
+use branchnet::core::engine::InferenceEngine;
+use branchnet::core::quantize::{QuantMode, QuantizedMini};
+use branchnet::core::trainer::{evaluate_accuracy, train_model, TrainOptions};
+use branchnet::workloads::spec::{Benchmark, SpecSuite};
+
+fn main() {
+    // Train a 1 KB Mini model for xz's copy-loop exit branch.
+    let bench = SpecSuite::benchmark(Benchmark::Xz);
+    let traces = bench.trace_set(30_000);
+    let cfg = BranchNetConfig::mini_1kb();
+    let pc = 0x4200;
+    let ds = extract(&traces.train, pc, cfg.window_len(), cfg.pc_bits);
+    let (mut model, _) = train_model(
+        &cfg,
+        &ds,
+        &TrainOptions { epochs: 12, lr: 0.02, max_examples: 2_000, ..Default::default() },
+    );
+
+    // Quantization ladder (Table IV's rungs for one model).
+    let test_ds = extract(&traces.test, pc, cfg.window_len(), cfg.pc_bits);
+    let quant = QuantizedMini::from_model(&model);
+    let acc = |mode: QuantMode| {
+        test_ds
+            .examples
+            .iter()
+            .filter(|e| quant.predict(&e.window, mode) == (e.label >= 0.5))
+            .count() as f64
+            / test_ds.len() as f64
+    };
+    println!("quantization ladder on the unseen test inputs:");
+    println!("  float model:          {:.3}", evaluate_accuracy(&mut model, &test_ds));
+    println!("  binarized convolution:{:.3}", acc(QuantMode::ConvOnly));
+    println!("  fully quantized:      {:.3}", acc(QuantMode::Full));
+
+    // Storage accounting (Table II).
+    let engine = InferenceEngine::new(quant);
+    let s = engine.storage();
+    println!("\nTable II storage breakdown ({}):", cfg.name);
+    println!("  convolution tables:   {:>7} bits", s.conv_tables_bits);
+    println!("  precise pooling:      {:>7} bits", s.precise_pooling_bits);
+    println!("  sliding pooling:      {:>7} bits", s.sliding_pooling_bits);
+    println!("  fully connected:      {:>7} bits", s.fully_connected_bits);
+    println!("  total:                {:>7.3} KB", s.total_kb());
+
+    // Streaming + misprediction recovery (Section V-C).
+    let mut engine = engine;
+    let trace = &traces.test[0];
+    let encoded: Vec<u32> =
+        trace.iter().filter(|r| r.kind.is_conditional()).map(|r| r.encode(cfg.pc_bits)).collect();
+    for &e in &encoded[..1000] {
+        engine.update(e);
+    }
+    let checkpoint = engine.checkpoint();
+    let before = engine.predict();
+    // Speculate down the wrong path...
+    for &e in &encoded[1000..1050] {
+        engine.update(e);
+    }
+    // ...flush and recover.
+    engine.restore(&checkpoint);
+    assert_eq!(engine.predict(), before, "recovery must be exact");
+    println!("\nflush recovery: engine state restored exactly after 50 wrong-path branches");
+}

@@ -1,0 +1,95 @@
+//! The paper's Section IV thought experiment, made executable: a
+//! *hand-constructed* CNN — no training at all — that predicts the
+//! motivating example's branch B with 100% accuracy.
+//!
+//! Construction (paper Fig. 3): a 1-wide convolution with two filters,
+//! channel 0 firing on "branch B, taken" history entries and channel 1
+//! on "branch A, not taken"; a sum-pooling layer as wide as the
+//! history, so the channels become the occurrence counts `j` and `x`;
+//! and one comparison neuron predicting *taken* (stay in the loop)
+//! while `j < x`. Previous loop instances cancel exactly: every
+//! completed round contributes its `x_r` to both counts.
+//!
+//! ```text
+//! cargo run --release --example manual_cnn
+//! ```
+
+use branchnet::tage::{evaluate_per_branch, TageScL, TageSclConfig};
+use branchnet::trace::BranchRecord;
+use branchnet::workloads::motivating::{MotivatingConfig, MotivatingWorkload, PC_A, PC_B};
+
+/// The hand-built CNN: two 1-wide filters + full-history sum-pooling +
+/// one comparison neuron.
+struct ManualCnn {
+    /// Sum-pooled channel 0: count of (B, taken) in the history.
+    count_b_taken: u64,
+    /// Sum-pooled channel 1: count of (A, not-taken) in the history.
+    count_a_not_taken: u64,
+}
+
+impl ManualCnn {
+    fn new() -> Self {
+        Self { count_b_taken: 0, count_a_not_taken: 0 }
+    }
+
+    /// The final fully-connected neuron: taken (continue looping)
+    /// while fewer B-takens than A-not-takens have occurred.
+    fn predict(&self) -> bool {
+        self.count_b_taken < self.count_a_not_taken
+    }
+
+    /// The convolution + pooling update: each retiring branch either
+    /// matches one of the two filters (incrementing its pooled count)
+    /// or is ignored — this is exactly how the CNN "learns to ignore
+    /// uncorrelated noise".
+    fn update(&mut self, r: &BranchRecord) {
+        if r.pc == PC_B && r.taken {
+            self.count_b_taken += 1;
+        } else if r.pc == PC_A && !r.taken {
+            self.count_a_not_taken += 1;
+        }
+    }
+}
+
+fn main() {
+    println!("alpha   N-range   branch-B rate   manual-CNN acc   TAGE-SC-L acc");
+    for (alpha, n_min, n_max) in
+        [(0.2, 5, 10), (0.5, 5, 10), (0.8, 5, 10), (0.5, 1, 4), (1.0, 5, 10)]
+    {
+        let w = MotivatingWorkload::new(MotivatingConfig::new(alpha, n_min, n_max, 20));
+        let trace = w.generate(42, 60_000);
+
+        // Manual CNN over the full history.
+        let mut cnn = ManualCnn::new();
+        let mut correct = 0u64;
+        let mut total = 0u64;
+        let mut taken = 0u64;
+        for r in &trace {
+            if r.pc == PC_B {
+                total += 1;
+                taken += u64::from(r.taken);
+                if cnn.predict() == r.taken {
+                    correct += 1;
+                }
+            }
+            cnn.update(r);
+        }
+        let cnn_acc = correct as f64 / total as f64;
+
+        // Runtime TAGE-SC-L on the same branch.
+        let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let stats = evaluate_per_branch(&mut tage, &trace);
+        let tage_acc = stats.get(PC_B).map_or(0.0, |s| s.accuracy());
+
+        println!(
+            "{alpha:>4.1}   {n_min:>2}..{n_max:<3}      {:>5.3}          {cnn_acc:>6.4}          {tage_acc:>6.4}",
+            taken as f64 / total as f64
+        );
+        assert!(
+            (cnn_acc - 1.0).abs() < 1e-12,
+            "the hand-built CNN must be exact (got {cnn_acc})"
+        );
+    }
+    println!("\nThe two-filter CNN is perfect at every alpha and N range — with 20 noisy");
+    println!("branches per iteration — because it counts only the correlated branches.");
+}

@@ -1,0 +1,66 @@
+//! The full offline training pipeline of paper Section V-E, end to
+//! end, on the synthetic leela workload:
+//!
+//! 1. profile training/validation/test inputs (Table III partition),
+//! 2. rank the most-mispredicting static branches on the validation
+//!    traces under the runtime baseline,
+//! 3. train one CNN per hard branch on the training traces,
+//! 4. keep the models that actually improve validation accuracy,
+//! 5. attach them and measure test-set MPKI against the baseline.
+//!
+//! ```text
+//! cargo run --release --example offline_pipeline
+//! ```
+
+use branchnet::core::config::BranchNetConfig;
+use branchnet::core::hybrid::{AttachedModel, HybridPredictor};
+use branchnet::core::selection::{offline_train, PipelineOptions};
+use branchnet::core::trainer::TrainOptions;
+use branchnet::tage::{evaluate, Predictor, TageScL, TageSclConfig};
+use branchnet::trace::PredictionStats;
+use branchnet::workloads::spec::{Benchmark, SpecSuite};
+
+fn main() {
+    let bench = SpecSuite::benchmark(Benchmark::Leela);
+    println!("profiling {} (3 train / 2 valid / 3 test inputs)...", bench.name());
+    let traces = bench.trace_set(40_000);
+
+    let baseline_cfg = TageSclConfig::tage_sc_l_64kb();
+    let opts = PipelineOptions {
+        candidates: 8,
+        train: TrainOptions { epochs: 10, lr: 0.02, max_examples: 2_000, ..Default::default() },
+        ..Default::default()
+    };
+
+    println!("running the offline pipeline (rank -> train -> select)...");
+    let pack = offline_train(&BranchNetConfig::big_scaled(), &baseline_cfg, &traces, &opts);
+    println!("kept {} improved branch models:", pack.len());
+    for (r, _) in &pack {
+        println!(
+            "  pc {:#06x}: validation accuracy {:.3} -> {:.3} ({:.0} mispredictions avoided)",
+            r.pc, r.baseline_accuracy, r.model_accuracy, r.mispredictions_avoided
+        );
+    }
+
+    // Attach and evaluate on the unseen ref inputs.
+    let mut hybrid = HybridPredictor::new(&baseline_cfg);
+    for (r, m) in pack {
+        hybrid.attach(r.pc, AttachedModel::Float(m));
+    }
+
+    let mut base_agg = PredictionStats::new();
+    let mut hybrid_agg = PredictionStats::new();
+    for t in &traces.test {
+        let mut base = TageScL::new(&baseline_cfg);
+        base_agg.merge(&evaluate(&mut base, t));
+        hybrid.reset_runtime_state();
+        hybrid_agg.merge(&evaluate(&mut hybrid, t));
+    }
+    println!("\ntest-set results (unseen inputs):");
+    println!("  {:<24} MPKI {:.3}", hybrid.name(), hybrid_agg.mpki());
+    println!("  {:<24} MPKI {:.3}", "tage-sc-l-64kb", base_agg.mpki());
+    println!(
+        "  MPKI reduction: {:.1}%",
+        100.0 * (base_agg.mpki() - hybrid_agg.mpki()) / base_agg.mpki()
+    );
+}

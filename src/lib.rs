@@ -1,0 +1,39 @@
+//! # BranchNet
+//!
+//! A reproduction of *"BranchNet: A Convolutional Neural Network to
+//! Predict Hard-To-Predict Branches"* (Zangeneh, Pruett, Lym, Patt —
+//! MICRO 2020), built as a Rust workspace.
+//!
+//! This facade crate re-exports every member crate so applications can
+//! depend on a single package:
+//!
+//! * [`trace`] — branch records, traces, histories, statistics.
+//! * [`workloads`] — synthetic SPEC2017-Int-like workload generators.
+//! * [`tage`] — TAGE-SC-L, MTAGE-SC and classic runtime predictors.
+//! * [`nn`] — a from-scratch CNN library (layers, backprop, optimizers).
+//! * [`core`] — BranchNet models, quantization, the on-chip inference
+//!   engine, offline training pipeline, and the hybrid predictor.
+//! * [`sim`] — a trace-driven pipeline timing model for IPC studies.
+//!
+//! # Quickstart
+//!
+//! Train a Big-BranchNet on the paper's Fig. 3 motivating
+//! microbenchmark and compare it against TAGE-SC-L — see
+//! `examples/quickstart.rs` for the full program:
+//!
+//! ```
+//! use branchnet::tage::{Predictor, TageScL, TageSclConfig};
+//! use branchnet::trace::BranchRecord;
+//!
+//! let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+//! let r = BranchRecord::conditional(0x4000, true);
+//! let predicted = tage.predict(r.pc);
+//! tage.update(&r, predicted);
+//! ```
+
+pub use branchnet_core as core;
+pub use branchnet_nn as nn;
+pub use branchnet_sim as sim;
+pub use branchnet_tage as tage;
+pub use branchnet_trace as trace;
+pub use branchnet_workloads as workloads;

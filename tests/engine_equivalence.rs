@@ -1,0 +1,113 @@
+//! Integration tests for the inference-engine semantics: the streaming
+//! engine must agree with the batch (training-time) datapath, and its
+//! recovery mechanism must be exact — across crates, on realistic
+//! workload traces rather than synthetic unit fixtures.
+
+use branchnet::core::config::{BranchNetConfig, SliceConfig};
+use branchnet::core::dataset::extract;
+use branchnet::core::engine::InferenceEngine;
+use branchnet::core::quantize::{QuantMode, QuantizedMini};
+use branchnet::core::trainer::{train_model, TrainOptions};
+use branchnet::workloads::spec::{Benchmark, SpecSuite};
+
+fn all_precise_config() -> BranchNetConfig {
+    BranchNetConfig {
+        name: "itest-precise".into(),
+        slices: vec![
+            SliceConfig { history: 24, channels: 3, pool_width: 6, precise_pooling: true },
+            SliceConfig { history: 48, channels: 2, pool_width: 12, precise_pooling: true },
+        ],
+        pc_bits: 12,
+        conv_hash_bits: Some(7),
+        embedding_dim: 0,
+        conv_width: 1,
+        hidden: vec![6],
+        fc_quant_bits: Some(4),
+        tanh_activations: true,
+    }
+}
+
+fn trained_quant(cfg: &BranchNetConfig) -> QuantizedMini {
+    let traces = SpecSuite::benchmark(Benchmark::Leela).trace_set(15_000);
+    let ds = extract(&traces.train, 0x1108, cfg.window_len(), cfg.pc_bits);
+    let (model, _) = train_model(
+        cfg,
+        &ds,
+        &TrainOptions { epochs: 4, max_examples: 800, ..Default::default() },
+    );
+    QuantizedMini::from_model(&model)
+}
+
+#[test]
+fn streaming_engine_agrees_with_batch_datapath_on_real_traces() {
+    let cfg = all_precise_config();
+    let quant = trained_quant(&cfg);
+    let mut engine = InferenceEngine::new(quant.clone());
+
+    let trace = SpecSuite::benchmark(Benchmark::Leela)
+        .generate(&SpecSuite::benchmark(Benchmark::Leela).inputs().test[0], 4_000);
+    let encoded: Vec<u32> =
+        trace.iter().filter(|r| r.kind.is_conditional()).map(|r| r.encode(cfg.pc_bits)).collect();
+    let w = cfg.window_len();
+    let mut checked = 0;
+    for (i, &e) in encoded.iter().enumerate() {
+        engine.update(e);
+        if i + 1 >= w && i % 7 == 0 {
+            let window = encoded[i + 1 - w..=i].to_vec();
+            assert_eq!(
+                engine.predict(),
+                quant.predict(&window, QuantMode::Full),
+                "engine diverged from batch path at branch {i}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 400, "only {checked} positions compared");
+}
+
+#[test]
+fn checkpoint_recovery_is_exact_mid_workload() {
+    let mut cfg = all_precise_config();
+    cfg.slices[1].precise_pooling = false; // exercise sliding state too
+    let quant = trained_quant(&cfg);
+    let mut engine = InferenceEngine::new(quant);
+
+    let trace = SpecSuite::benchmark(Benchmark::Mcf)
+        .generate(&SpecSuite::benchmark(Benchmark::Mcf).inputs().test[1], 3_000);
+    let encoded: Vec<u32> =
+        trace.iter().filter(|r| r.kind.is_conditional()).map(|r| r.encode(cfg.pc_bits)).collect();
+
+    for &e in &encoded[..1500] {
+        engine.update(e);
+    }
+    let ckpt = engine.checkpoint();
+    let reference = engine.predict();
+    for &e in &encoded[1500..1700] {
+        engine.update(e); // wrong path
+    }
+    engine.restore(&ckpt);
+    assert_eq!(engine.predict(), reference);
+    // Replaying the correct path must match a straight run.
+    let mut straight = InferenceEngine::new(engine.model().clone());
+    for &e in &encoded {
+        straight.update(e);
+    }
+    for &e in &encoded[1500..] {
+        engine.update(e);
+    }
+    assert_eq!(engine.checkpoint(), straight.checkpoint());
+}
+
+#[test]
+fn engine_storage_matches_table2_accounting() {
+    let cfg = BranchNetConfig::mini_05kb();
+    let quant = trained_quant(&cfg);
+    let engine = InferenceEngine::new(quant);
+    let s = engine.storage();
+    assert_eq!(
+        s.total_bits(),
+        branchnet::core::storage::storage_breakdown(&cfg).total_bits()
+    );
+    // The 0.5 KB preset must land near its label.
+    assert!(s.total_kb() > 0.25 && s.total_kb() < 0.75, "{} KB", s.total_kb());
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration test: the complete offline methodology of
+//! paper Section V-E on a synthetic workload, across all workspace
+//! crates (workloads → tage → core → hybrid).
+
+use branchnet::core::config::BranchNetConfig;
+use branchnet::core::engine::InferenceEngine;
+use branchnet::core::hybrid::{AttachedModel, HybridPredictor};
+use branchnet::core::quantize::QuantizedMini;
+use branchnet::core::selection::{offline_train, PipelineOptions};
+use branchnet::core::trainer::TrainOptions;
+use branchnet::tage::{evaluate, TageScL, TageSclConfig};
+use branchnet::trace::PredictionStats;
+use branchnet::workloads::spec::{Benchmark, SpecSuite};
+
+fn pipeline_options() -> PipelineOptions {
+    PipelineOptions {
+        candidates: 4,
+        train: TrainOptions { epochs: 8, lr: 0.02, max_examples: 1_200, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn offline_training_beats_baseline_on_unseen_inputs() {
+    let traces = SpecSuite::benchmark(Benchmark::Xz).trace_set(25_000);
+    let baseline_cfg = TageSclConfig::tage_sc_l_64kb();
+
+    let pack = offline_train(
+        &BranchNetConfig::big_scaled(),
+        &baseline_cfg,
+        &traces,
+        &pipeline_options(),
+    );
+    assert!(!pack.is_empty(), "xz must yield improvable branches");
+    for (r, _) in &pack {
+        assert!(r.mispredictions_avoided > 0.0, "selection keeps only improvements: {r:?}");
+        assert!(r.model_accuracy > r.baseline_accuracy, "{r:?}");
+    }
+
+    let mut hybrid = HybridPredictor::new(&baseline_cfg);
+    for (r, m) in pack {
+        hybrid.attach(r.pc, AttachedModel::Float(m));
+    }
+
+    let mut base_agg = PredictionStats::new();
+    let mut hybrid_agg = PredictionStats::new();
+    for t in &traces.test {
+        let mut base = TageScL::new(&baseline_cfg);
+        base_agg.merge(&evaluate(&mut base, t));
+        hybrid.reset_runtime_state();
+        hybrid_agg.merge(&evaluate(&mut hybrid, t));
+    }
+    assert!(
+        hybrid_agg.mpki() < base_agg.mpki(),
+        "hybrid {:.3} MPKI must beat baseline {:.3} MPKI on unseen inputs",
+        hybrid_agg.mpki(),
+        base_agg.mpki()
+    );
+}
+
+#[test]
+fn quantized_engines_also_beat_baseline() {
+    let traces = SpecSuite::benchmark(Benchmark::Xz).trace_set(25_000);
+    let baseline_cfg = TageSclConfig::tage_sc_l_64kb().without_sc_local();
+
+    let pack =
+        offline_train(&BranchNetConfig::mini_2kb(), &baseline_cfg, &traces, &pipeline_options());
+    assert!(!pack.is_empty());
+
+    let mut hybrid = HybridPredictor::new(&baseline_cfg);
+    for (r, m) in pack {
+        let quant = QuantizedMini::from_model(&m);
+        hybrid.attach(r.pc, AttachedModel::Engine(InferenceEngine::new(quant)));
+    }
+
+    let mut base_agg = PredictionStats::new();
+    let mut hybrid_agg = PredictionStats::new();
+    for t in &traces.test {
+        let mut base = TageScL::new(&baseline_cfg);
+        base_agg.merge(&evaluate(&mut base, t));
+        hybrid.reset_runtime_state();
+        hybrid_agg.merge(&evaluate(&mut hybrid, t));
+    }
+    assert!(
+        hybrid_agg.mpki() < base_agg.mpki(),
+        "fully-quantized engines {:.3} MPKI vs baseline {:.3} MPKI",
+        hybrid_agg.mpki(),
+        base_agg.mpki()
+    );
+}
+
+#[test]
+fn data_dependent_benchmark_yields_no_false_positives() {
+    // omnetpp's hot branches carry no history signal: the pipeline
+    // must not attach models that pretend otherwise (paper: "the MPKI
+    // reduction on omnetpp is small since [its] branches are
+    // data-dependent").
+    let traces = SpecSuite::benchmark(Benchmark::Omnetpp).trace_set(25_000);
+    let baseline_cfg = TageSclConfig::tage_sc_l_64kb();
+    let pack = offline_train(
+        &BranchNetConfig::big_scaled(),
+        &baseline_cfg,
+        &traces,
+        &pipeline_options(),
+    );
+    // Any model that survives must at least not hurt the test MPKI.
+    let mut hybrid = HybridPredictor::new(&baseline_cfg);
+    for (r, m) in pack {
+        hybrid.attach(r.pc, AttachedModel::Float(m));
+    }
+    let mut base_agg = PredictionStats::new();
+    let mut hybrid_agg = PredictionStats::new();
+    for t in &traces.test {
+        let mut base = TageScL::new(&baseline_cfg);
+        base_agg.merge(&evaluate(&mut base, t));
+        hybrid.reset_runtime_state();
+        hybrid_agg.merge(&evaluate(&mut hybrid, t));
+    }
+    assert!(
+        hybrid_agg.mpki() <= base_agg.mpki() * 1.02,
+        "omnetpp hybrid {:.3} must not regress baseline {:.3}",
+        hybrid_agg.mpki(),
+        base_agg.mpki()
+    );
+}

@@ -1,0 +1,98 @@
+//! Property-based invariants over the public API, spanning crates.
+
+use branchnet::core::hashing::conv_hash;
+use branchnet::tage::{evaluate, AlwaysTaken, Predictor, TageScL, TageSclConfig};
+use branchnet::trace::{BranchRecord, FoldedHistory, GlobalHistory, Trace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The incrementally-folded history always equals a from-scratch
+    /// replay over the recorded global history.
+    #[test]
+    fn folded_history_matches_replay(
+        dirs in prop::collection::vec(any::<bool>(), 1..200),
+        original_len in 2usize..60,
+        compressed_len in 2usize..16,
+    ) {
+        let mut history = GlobalHistory::new(original_len + 200);
+        let mut folded = FoldedHistory::new(original_len, compressed_len);
+        for &bit in &dirs {
+            let outgoing = if history.len() >= original_len {
+                history.bit(original_len - 1)
+            } else {
+                false
+            };
+            folded.update(bit, outgoing);
+            history.push(bit);
+            prop_assert_eq!(
+                folded.value(),
+                FoldedHistory::fold_from_history(&history, original_len, compressed_len)
+            );
+        }
+    }
+
+    /// Prediction statistics are exact: accuracy + error rate = 1 and
+    /// MPKI is consistent with raw counts for any outcome sequence.
+    #[test]
+    fn evaluate_accounting_is_consistent(outcomes in prop::collection::vec(any::<bool>(), 1..300)) {
+        let trace: Trace = outcomes
+            .iter()
+            .map(|&t| BranchRecord::conditional(0x40, t))
+            .collect();
+        let stats = evaluate(&mut AlwaysTaken, &trace);
+        let expected_wrong = outcomes.iter().filter(|&&t| !t).count() as f64;
+        prop_assert!((stats.mispredictions() - expected_wrong).abs() < 1e-9);
+        prop_assert!((stats.predictions() - outcomes.len() as f64).abs() < 1e-9);
+        let mpki = 1000.0 * stats.mispredictions() / stats.instructions();
+        prop_assert!((stats.mpki() - mpki).abs() < 1e-9);
+    }
+
+    /// The conv hash is a pure function of the K-window contents:
+    /// equal windows hash equally regardless of surrounding context.
+    #[test]
+    fn conv_hash_depends_only_on_window(
+        prefix in prop::collection::vec(0u32..8192, 0..20),
+        window in prop::collection::vec(0u32..8192, 1..8),
+        h_bits in 2u32..12,
+    ) {
+        let k = window.len();
+        let mut a = prefix.clone();
+        a.extend(&window);
+        let mut b = vec![7u32; 3]; // different context
+        b.extend(&window);
+        prop_assert_eq!(
+            conv_hash(&a, a.len() - 1, k, h_bits),
+            conv_hash(&b, b.len() - 1, k, h_bits)
+        );
+    }
+
+    /// TAGE-SC-L never crashes and trains consistently on arbitrary
+    /// direction sequences across a handful of PCs.
+    #[test]
+    fn tage_scl_is_total(outcomes in prop::collection::vec((0u8..4, any::<bool>()), 1..400)) {
+        let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        for (slot, taken) in outcomes {
+            let pc = 0x1000 + u64::from(slot) * 64;
+            let pred = p.predict(pc);
+            p.update(&BranchRecord::conditional(pc, taken), pred);
+        }
+    }
+}
+
+#[test]
+fn deterministic_end_to_end_evaluation() {
+    // The same workload, seed, and predictor configuration must give
+    // byte-identical statistics run to run.
+    use branchnet::workloads::spec::{Benchmark, SpecSuite};
+    let bench = SpecSuite::benchmark(Benchmark::Deepsjeng);
+    let input = &bench.inputs().valid[0];
+    let run = || {
+        let trace = bench.generate(input, 10_000);
+        let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let s = evaluate(&mut p, &trace);
+        (s.predictions(), s.mispredictions(), s.instructions())
+    };
+    assert_eq!(run(), run());
+}

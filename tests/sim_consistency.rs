@@ -1,0 +1,60 @@
+//! Cross-crate consistency between the trace evaluator and the
+//! pipeline timing model, plus hybrid-predictor sanity at system
+//! level.
+
+use branchnet::core::hybrid::HybridPredictor;
+use branchnet::sim::{simulate, simulate_with_oracle, CpuConfig};
+use branchnet::tage::{evaluate, TageScL, TageSclConfig};
+use branchnet::workloads::spec::{Benchmark, SpecSuite};
+
+#[test]
+fn sim_mpki_equals_evaluator_mpki() {
+    let bench = SpecSuite::benchmark(Benchmark::Mcf);
+    let trace = bench.generate(&bench.inputs().test[0], 20_000);
+    let cfg = CpuConfig::skylake_like();
+    let sim = simulate(&trace, &mut TageScL::new(&TageSclConfig::tage_sc_l_64kb()), &cfg);
+    let eval = evaluate(&mut TageScL::new(&TageSclConfig::tage_sc_l_64kb()), &trace);
+    assert!((sim.mpki() - eval.mpki()).abs() < 1e-9);
+    assert_eq!(sim.instructions as f64, eval.instructions());
+}
+
+#[test]
+fn better_predictors_earn_higher_ipc_across_workloads() {
+    let cfg = CpuConfig::skylake_like();
+    for bench in [Benchmark::Leela, Benchmark::Xz, Benchmark::X264] {
+        let w = SpecSuite::benchmark(bench);
+        let trace = w.generate(&w.inputs().test[0], 20_000);
+        let oracle = simulate_with_oracle(&trace, &cfg);
+        let tage = simulate(&trace, &mut TageScL::new(&TageSclConfig::tage_sc_l_64kb()), &cfg);
+        let weak = simulate(&trace, &mut branchnet::tage::Bimodal::new(10, 2), &cfg);
+        assert!(
+            oracle.ipc() >= tage.ipc() && tage.ipc() >= weak.ipc() * 0.999,
+            "{}: oracle {:.3} >= tage {:.3} >= bimodal {:.3}",
+            bench.name(),
+            oracle.ipc(),
+            tage.ipc(),
+            weak.ipc()
+        );
+    }
+}
+
+#[test]
+fn empty_hybrid_is_transparent_in_the_pipeline_model() {
+    let bench = SpecSuite::benchmark(Benchmark::Perlbench);
+    let trace = bench.generate(&bench.inputs().test[2], 15_000);
+    let cfg = CpuConfig::skylake_like();
+    let base_cfg = TageSclConfig::tage_sc_l_64kb();
+    let a = simulate(&trace, &mut TageScL::new(&base_cfg), &cfg);
+    let b = simulate(&trace, &mut HybridPredictor::new(&base_cfg), &cfg);
+    assert_eq!(a.mispredictions, b.mispredictions);
+    assert_eq!(a.cycles, b.cycles);
+}
+
+#[test]
+fn easy_benchmarks_run_near_machine_width() {
+    let cfg = CpuConfig::skylake_like();
+    let w = SpecSuite::benchmark(Benchmark::Exchange2);
+    let trace = w.generate(&w.inputs().test[0], 20_000);
+    let r = simulate(&trace, &mut TageScL::new(&TageSclConfig::tage_sc_l_64kb()), &cfg);
+    assert!(r.ipc() > cfg.fetch_width as f64 * 0.6, "exchange2 IPC {:.2}", r.ipc());
+}
