@@ -58,5 +58,10 @@ fn bench_pipeline_model(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_workload_generation, bench_baseline_evaluation, bench_pipeline_model);
+criterion_group!(
+    benches,
+    bench_workload_generation,
+    bench_baseline_evaluation,
+    bench_pipeline_model
+);
 criterion_main!(benches);

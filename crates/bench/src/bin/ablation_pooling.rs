@@ -46,13 +46,7 @@ fn main() {
             .count() as f64
             / test_ds.len().max(1) as f64;
         let kb = storage_breakdown(&cfg).total_kb();
-        println!(
-            "{:<16} {:>8.3} KB   {:>6}        {:>6.3}",
-            cfg.name,
-            kb,
-            cfg.max_history(),
-            acc
-        );
+        println!("{:<16} {:>8.3} KB   {:>6}        {:>6.3}", cfg.name, kb, cfg.max_history(), acc);
     }
     println!(
         "\nSum-pooling keeps long histories affordable: the pooled model reaches the\n\

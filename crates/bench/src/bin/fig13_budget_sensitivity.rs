@@ -7,8 +7,7 @@ use branchnet_workloads::spec::Benchmark;
 
 fn main() {
     let scale = Scale::from_env();
-    let benches =
-        [Benchmark::Leela, Benchmark::Mcf, Benchmark::Deepsjeng, Benchmark::Xz];
+    let benches = [Benchmark::Leela, Benchmark::Mcf, Benchmark::Deepsjeng, Benchmark::Xz];
     let points = fig13_budget::run(&scale, &benches, &[8, 16, 32, 64]);
     print!("{}", fig13_budget::render(&points));
 }

@@ -3,18 +3,25 @@
 //! thorough profile; the default `quick` profile finishes in tens of
 //! minutes on a laptop core.
 
+use branchnet_bench::cache::ArtifactCache;
 use branchnet_bench::experiments::*;
+use branchnet_bench::parallel::thread_count;
 use branchnet_bench::Scale;
 use branchnet_workloads::spec::Benchmark;
 
 fn main() {
     let scale = Scale::from_env();
+    println!(
+        "scale: {} | threads: {} (BRANCHNET_THREADS to override)",
+        if scale.is_full() { "full" } else { "quick" },
+        thread_count()
+    );
     // The CNN-training figures cover all ten benchmarks at
     // BRANCHNET_SCALE=full; the quick profile runs them on the six
     // benchmarks that carry the paper's story (the four BranchNet
     // winners plus the two instructive failures, gcc and omnetpp) —
     // the easy four contribute near-zero MPKI and near-zero deltas.
-    let full = std::env::var("BRANCHNET_SCALE").as_deref() == Ok("full");
+    let full = scale.is_full();
     let cnn_benches: Vec<Benchmark> = if full {
         Benchmark::all().to_vec()
     } else {
@@ -28,7 +35,15 @@ fn main() {
         ]
     };
     let t0 = std::time::Instant::now();
-    let section = |name: &str| {
+    let mut last = std::time::Instant::now();
+    let mut section_times: Vec<(String, f64)> = Vec::new();
+    let mut section = |name: &str| {
+        // Credit the elapsed interval to the section that just ended.
+        if let Some((_, secs)) = section_times.last_mut() {
+            *secs = last.elapsed().as_secs_f64();
+        }
+        last = std::time::Instant::now();
+        section_times.push((name.to_string(), 0.0));
         println!("\n=== {name} [{:.0}s] ===", t0.elapsed().as_secs_f64());
     };
 
@@ -49,18 +64,17 @@ fn main() {
     print!("{}", fig09_headroom_mpki::render(&fig09_headroom_mpki::run(&scale, &cnn_benches)));
 
     section("Fig. 10");
-    for bench in if full { vec![Benchmark::Leela, Benchmark::Mcf] } else { vec![Benchmark::Leela] } {
-        print!(
-            "{}",
-            fig10_branch_accuracy::render(&fig10_branch_accuracy::run(&scale, bench, 16))
-        );
+    for bench in if full { vec![Benchmark::Leela, Benchmark::Mcf] } else { vec![Benchmark::Leela] }
+    {
+        print!("{}", fig10_branch_accuracy::render(&fig10_branch_accuracy::run(&scale, bench, 16)));
     }
 
     section("Fig. 11");
     print!("{}", fig11_practical::render(&fig11_practical::run(&scale, &cnn_benches)));
 
     section("Fig. 12");
-    let fig12_benches = if full { vec![Benchmark::Leela, Benchmark::Xz] } else { vec![Benchmark::Xz] };
+    let fig12_benches =
+        if full { vec![Benchmark::Leela, Benchmark::Xz] } else { vec![Benchmark::Xz] };
     for bench in fig12_benches {
         print!("{}", fig12_trainset::render(bench, &fig12_trainset::run(&scale, bench)));
     }
@@ -71,12 +85,23 @@ fn main() {
     } else {
         vec![Benchmark::Leela, Benchmark::Xz]
     };
-    print!("{}", fig13_budget::render(&fig13_budget::run(&scale, &fig13_benches, &[8, 16, 32, 64])));
+    print!(
+        "{}",
+        fig13_budget::render(&fig13_budget::run(&scale, &fig13_benches, &[8, 16, 32, 64]))
+    );
 
     section("Table IV");
     let t4_bench = Benchmark::Leela;
     let rows = tables::table4(&scale, t4_bench);
     print!("{}", tables::render_table4(t4_bench, &rows));
 
+    if let Some((_, secs)) = section_times.last_mut() {
+        *secs = last.elapsed().as_secs_f64();
+    }
+    println!("\n=== Summary ===");
+    for (name, secs) in &section_times {
+        println!("{name:<10} {secs:>7.1}s");
+    }
+    println!("cache: {}", ArtifactCache::global().stats().summary());
     println!("\nDone in {:.0}s.", t0.elapsed().as_secs_f64());
 }

@@ -56,7 +56,13 @@ fn main() -> ExitCode {
                 eprintln!("failed to write {}: {e}", args[4]);
                 return ExitCode::FAILURE;
             }
-            println!("wrote {} branches ({} / {}) to {}", trace.len(), bench.name(), input.label, args[4]);
+            println!(
+                "wrote {} branches ({} / {}) to {}",
+                trace.len(),
+                bench.name(),
+                input.label,
+                args[4]
+            );
             ExitCode::SUCCESS
         }
         Some("stats") if args.len() == 2 => {
@@ -74,7 +80,10 @@ fn main() -> ExitCode {
             println!("weight:        {}", trace.weight());
             println!("records:       {}", trace.len());
             println!("instructions:  {}", trace.instruction_count());
-            println!("conditional:   {conditional} ({:.1}% taken)", 100.0 * taken as f64 / conditional.max(1) as f64);
+            println!(
+                "conditional:   {conditional} ({:.1}% taken)",
+                100.0 * taken as f64 / conditional.max(1) as f64
+            );
             println!("static PCs:    {}", pcs.len());
             ExitCode::SUCCESS
         }

@@ -1,0 +1,261 @@
+//! Memoized experiment artifacts.
+//!
+//! Several figures need the same expensive intermediates — a
+//! benchmark's [`TraceSet`], a trained Big/Tarsa model pack, a
+//! Mini-BranchNet quantized-model menu. The serial reproduction
+//! regenerated each of them every time it was needed (e.g. the Big
+//! pack of Fig. 9 was retrained for Fig. 10, and Table IV trained the
+//! identical pack twice). [`ArtifactCache`] memoizes them behind a
+//! process-wide thread-safe map so each artifact is computed **exactly
+//! once** per run and shared by `Arc`:
+//!
+//! * trace sets are keyed by `(benchmark, branches_per_trace)` — the
+//!   only [`Scale`] field generation depends on, so Fig. 12's
+//!   per-point scale tweaks still share one trace set;
+//! * trained packs are keyed by `(model config, baseline config,
+//!   benchmark, scale)`;
+//! * Mini menus (the per-candidate quantized models Fig. 11/13 feed
+//!   to the knapsack) are keyed by `(menu, baseline config, benchmark,
+//!   scale)`, so a budget sweep trains the menu once and re-solves
+//!   only the cheap knapsack per budget.
+//!
+//! Config keys use the configs' `Debug` fingerprint: two configs
+//! collide only if every knob matches, in which case the artifacts
+//! are interchangeable. Per-key [`OnceLock`] cells guarantee
+//! compute-once semantics even when parallel experiment threads race
+//! on the same key (losers block until the winner's value is ready).
+//! Hit/miss counters feed the `reproduce` summary.
+
+use crate::experiments::mini_pack::TrainedMenu;
+use crate::harness::{Scale, TrainedPack};
+use branchnet_core::config::BranchNetConfig;
+use branchnet_tage::TageSclConfig;
+use branchnet_trace::TraceSet;
+use branchnet_workloads::spec::Benchmark;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// `(model-config fingerprint, baseline fingerprint, benchmark,
+/// scale)`.
+type PackKey = (String, String, Benchmark, Scale);
+/// `(menu fingerprint, baseline fingerprint, benchmark, scale)`.
+type MenuKey = (String, String, Benchmark, Scale);
+/// A compute-once map: per-key [`OnceLock`] cells under one lock.
+type Memo<K, V> = Mutex<HashMap<K, Arc<OnceLock<V>>>>;
+
+/// Snapshot of the cache's hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Trace-set lookups served from the cache.
+    pub trace_hits: u64,
+    /// Trace-set generations performed.
+    pub trace_misses: u64,
+    /// Pack lookups served from the cache.
+    pub pack_hits: u64,
+    /// Pack trainings performed.
+    pub pack_misses: u64,
+    /// Menu lookups served from the cache.
+    pub menu_hits: u64,
+    /// Menu trainings performed.
+    pub menu_misses: u64,
+}
+
+impl CacheStats {
+    /// One-line summary for the `reproduce` report.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "trace sets: {} generated, {} reused | packs: {} trained, {} reused | \
+             menus: {} trained, {} reused",
+            self.trace_misses,
+            self.trace_hits,
+            self.pack_misses,
+            self.pack_hits,
+            self.menu_misses,
+            self.menu_hits
+        )
+    }
+}
+
+/// Process-wide memo of trace sets, trained packs, and Mini menus.
+#[derive(Default)]
+pub struct ArtifactCache {
+    traces: Memo<(Benchmark, usize), Arc<TraceSet>>,
+    packs: Memo<PackKey, Arc<TrainedPack>>,
+    menus: Memo<MenuKey, Arc<TrainedMenu>>,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    pack_hits: AtomicU64,
+    pack_misses: AtomicU64,
+    menu_hits: AtomicU64,
+    menu_misses: AtomicU64,
+}
+
+/// Looks up `key`, computing the value at most once per key across
+/// all threads. The map lock is held only to fetch the per-key cell,
+/// never during `compute`, so distinct keys build concurrently while
+/// racing lookups of one key block on its [`OnceLock`].
+fn get_or_compute<K, V>(
+    map: &Memo<K, V>,
+    hits: &AtomicU64,
+    misses: &AtomicU64,
+    key: K,
+    compute: impl FnOnce() -> V,
+) -> V
+where
+    K: Eq + Hash,
+    V: Clone,
+{
+    let cell = {
+        let mut m = map.lock().expect("cache map poisoned");
+        Arc::clone(m.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+    };
+    let mut computed = false;
+    let value = cell.get_or_init(|| {
+        computed = true;
+        compute()
+    });
+    if computed {
+        misses.fetch_add(1, Ordering::Relaxed);
+    } else {
+        hits.fetch_add(1, Ordering::Relaxed);
+    }
+    value.clone()
+}
+
+impl ArtifactCache {
+    /// The process-wide cache instance.
+    #[must_use]
+    pub fn global() -> &'static ArtifactCache {
+        static GLOBAL: OnceLock<ArtifactCache> = OnceLock::new();
+        GLOBAL.get_or_init(ArtifactCache::default)
+    }
+
+    /// The trace set for `bench` at `branches_per_trace` branches per
+    /// trace, generating it on first use.
+    pub fn trace_set(
+        &self,
+        bench: Benchmark,
+        branches_per_trace: usize,
+        compute: impl FnOnce() -> TraceSet,
+    ) -> Arc<TraceSet> {
+        get_or_compute(
+            &self.traces,
+            &self.trace_hits,
+            &self.trace_misses,
+            (bench, branches_per_trace),
+            || Arc::new(compute()),
+        )
+    }
+
+    /// The trained pack for `(config, baseline, bench, scale)`,
+    /// training it on first use.
+    pub fn pack(
+        &self,
+        config: &BranchNetConfig,
+        baseline: &TageSclConfig,
+        bench: Benchmark,
+        scale: &Scale,
+        compute: impl FnOnce() -> TrainedPack,
+    ) -> Arc<TrainedPack> {
+        get_or_compute(
+            &self.packs,
+            &self.pack_hits,
+            &self.pack_misses,
+            (format!("{config:?}"), format!("{baseline:?}"), bench, *scale),
+            || Arc::new(compute()),
+        )
+    }
+
+    /// The trained Mini menu for `(menu, baseline, bench, scale)`,
+    /// training it on first use.
+    pub fn menu(
+        &self,
+        menu: &[(BranchNetConfig, usize)],
+        baseline: &TageSclConfig,
+        bench: Benchmark,
+        scale: &Scale,
+        compute: impl FnOnce() -> TrainedMenu,
+    ) -> Arc<TrainedMenu> {
+        get_or_compute(
+            &self.menus,
+            &self.menu_hits,
+            &self.menu_misses,
+            (format!("{menu:?}"), format!("{baseline:?}"), bench, *scale),
+            || Arc::new(compute()),
+        )
+    }
+
+    /// Current hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            pack_hits: self.pack_hits.load(Ordering::Relaxed),
+            pack_misses: self.pack_misses.load(Ordering::Relaxed),
+            menu_hits: self.menu_hits.load(Ordering::Relaxed),
+            menu_misses: self.menu_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchnet_trace::Trace;
+
+    fn tiny_trace_set() -> TraceSet {
+        TraceSet { train: vec![Trace::new()], valid: vec![Trace::new()], test: vec![Trace::new()] }
+    }
+
+    #[test]
+    fn trace_set_computed_once_and_shared() {
+        let cache = ArtifactCache::default();
+        let mut calls = 0u32;
+        let a = cache.trace_set(Benchmark::Xz, 123, || {
+            calls += 1;
+            tiny_trace_set()
+        });
+        let b = cache.trace_set(Benchmark::Xz, 123, || {
+            calls += 1;
+            tiny_trace_set()
+        });
+        assert_eq!(calls, 1, "second lookup must hit the cache");
+        assert!(Arc::ptr_eq(&a, &b), "hits share one allocation");
+        let s = cache.stats();
+        assert_eq!((s.trace_misses, s.trace_hits), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_compute_separately() {
+        let cache = ArtifactCache::default();
+        cache.trace_set(Benchmark::Xz, 10, tiny_trace_set);
+        cache.trace_set(Benchmark::Xz, 20, tiny_trace_set);
+        cache.trace_set(Benchmark::Leela, 10, tiny_trace_set);
+        let s = cache.stats();
+        assert_eq!((s.trace_misses, s.trace_hits), (3, 0));
+    }
+
+    #[test]
+    fn racing_lookups_compute_exactly_once() {
+        let cache = ArtifactCache::default();
+        let computes = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.trace_set(Benchmark::Mcf, 7, || {
+                        computes.fetch_add(1, Ordering::Relaxed);
+                        tiny_trace_set()
+                    });
+                });
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1);
+        let s = cache.stats();
+        assert_eq!(s.trace_misses, 1);
+        assert_eq!(s.trace_hits, 7);
+    }
+}

@@ -8,6 +8,7 @@
 //! Fig. 9/11 then measure how much of it the CNNs actually capture.
 
 use crate::harness::{trace_set, Scale};
+use crate::parallel::parallel_map;
 use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
 use branchnet_trace::BranchStats;
 use branchnet_workloads::spec::Benchmark;
@@ -31,25 +32,22 @@ pub struct Fig01Row {
 #[must_use]
 pub fn run(scale: &Scale) -> Vec<Fig01Row> {
     let baseline = TageSclConfig::tage_sc_l_64kb();
-    Benchmark::all()
-        .into_iter()
-        .map(|bench| {
-            let traces = trace_set(bench, scale);
-            let mut stats = BranchStats::new();
-            for t in &traces.test {
-                let mut p = TageScL::new(&baseline);
-                stats.merge(&evaluate_per_branch(&mut p, t));
-            }
-            let ranking = stats.rank_by_mispredictions();
-            Fig01Row {
-                bench,
-                mpki: stats.totals().mpki(),
-                top8: ranking.mpki_of_top(8),
-                top25: ranking.mpki_of_top(25),
-                top50: ranking.mpki_of_top(50),
-            }
-        })
-        .collect()
+    parallel_map(&Benchmark::all(), |&bench| {
+        let traces = trace_set(bench, scale);
+        let mut stats = BranchStats::new();
+        for t in &traces.test {
+            let mut p = TageScL::new(&baseline);
+            stats.merge(&evaluate_per_branch(&mut p, t));
+        }
+        let ranking = stats.rank_by_mispredictions();
+        Fig01Row {
+            bench,
+            mpki: stats.totals().mpki(),
+            top8: ranking.mpki_of_top(8),
+            top25: ranking.mpki_of_top(25),
+            top50: ranking.mpki_of_top(50),
+        }
+    })
 }
 
 /// Paper-style rendering.

@@ -10,6 +10,7 @@
 //! every α.
 
 use crate::harness::Scale;
+use crate::parallel::parallel_map;
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::dataset::extract;
 use branchnet_core::model::BranchNetModel;
@@ -64,10 +65,9 @@ pub fn run(scale: &Scale) -> Vec<Fig04Point> {
     opts.epochs = opts.epochs.max(20);
     opts.max_examples = opts.max_examples.max(6_000);
     // One model per paper training set; a set may comprise several
-    // profiled inputs (set 3 does).
-    let mut models: Vec<BranchNetModel> = MotivatingConfig::fig4_training_sets()
-        .into_iter()
-        .map(|set| {
+    // profiled inputs (set 3 does). The three sets train in parallel.
+    let models: Vec<BranchNetModel> =
+        parallel_map(&MotivatingConfig::fig4_training_sets(), |set| {
             let mut traces = Vec::new();
             for (i, dist) in set.iter().enumerate() {
                 let w = MotivatingWorkload::new(*dist);
@@ -77,25 +77,23 @@ pub fn run(scale: &Scale) -> Vec<Fig04Point> {
             }
             let ds = extract(&traces, PC_B, cfg.window_len(), cfg.pc_bits);
             train_model(&cfg, &ds, &opts).0
-        })
-        .collect();
+        });
 
-    [0.2, 0.4, 0.6, 0.8, 1.0]
-        .into_iter()
-        .map(|alpha| {
-            let w = MotivatingWorkload::new(MotivatingConfig::fig4_test(alpha));
-            let trace = w.generate(0xE0 + (alpha * 10.0) as u64, scale.branches_per_trace);
-            let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
-            let stats = evaluate_per_branch(&mut tage, &trace);
-            let tage_acc = stats.get(PC_B).map_or(1.0, |s| s.accuracy());
-            let ds = extract(&[trace], PC_B, cfg.window_len(), cfg.pc_bits);
-            let mut cnn = [0.0; 3];
-            for (i, m) in models.iter_mut().enumerate() {
-                cnn[i] = evaluate_accuracy(m, &ds);
-            }
-            Fig04Point { alpha, tage: tage_acc, cnn }
-        })
-        .collect()
+    // α points evaluate in parallel; each clones the frozen models
+    // (evaluation needs scratch state, not weight changes).
+    parallel_map(&[0.2, 0.4, 0.6, 0.8, 1.0], |&alpha| {
+        let w = MotivatingWorkload::new(MotivatingConfig::fig4_test(alpha));
+        let trace = w.generate(0xE0 + (alpha * 10.0) as u64, scale.branches_per_trace);
+        let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let stats = evaluate_per_branch(&mut tage, &trace);
+        let tage_acc = stats.get(PC_B).map_or(1.0, |s| s.accuracy());
+        let ds = extract(&[trace], PC_B, cfg.window_len(), cfg.pc_bits);
+        let mut cnn = [0.0; 3];
+        for (i, m) in models.iter().enumerate() {
+            cnn[i] = evaluate_accuracy(&mut m.clone(), &ds);
+        }
+        Fig04Point { alpha, tage: tage_acc, cnn }
+    })
 }
 
 /// Paper-style rendering.

@@ -2,10 +2,9 @@
 //! CBP2016 winner stand-in), MTAGE-SC + Big-BranchNet, and MTAGE-SC
 //! component ablations, per benchmark.
 
-use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use crate::harness::{baseline_mpki, cached_pack, hybrid_mpki_float, trace_set, Scale};
+use crate::parallel::parallel_map;
 use branchnet_core::config::BranchNetConfig;
-use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
-use branchnet_core::selection::offline_train;
 use branchnet_tage::TageSclConfig;
 use branchnet_workloads::spec::Benchmark;
 
@@ -39,35 +38,29 @@ pub fn big_config() -> BranchNetConfig {
 #[must_use]
 pub fn run(scale: &Scale, benchmarks: &[Benchmark]) -> Vec<Fig09Row> {
     let mtage = TageSclConfig::mtage_sc_unlimited();
-    benchmarks
-        .iter()
-        .map(|&bench| {
-            let traces = trace_set(bench, scale);
-            let tage64 = baseline_mpki(&TageSclConfig::tage_sc_l_64kb(), &traces);
-            let mtage_mpki = baseline_mpki(&mtage, &traces);
-            let gtage = baseline_mpki(&mtage.clone().gtage_only(), &traces);
-            let no_local = baseline_mpki(&mtage.clone().without_sc_local(), &traces);
+    parallel_map(benchmarks, |&bench| {
+        let traces = trace_set(bench, scale);
+        let tage64 = baseline_mpki(&TageSclConfig::tage_sc_l_64kb(), &traces);
+        let mtage_mpki = baseline_mpki(&mtage, &traces);
+        let gtage = baseline_mpki(&mtage.clone().gtage_only(), &traces);
+        let no_local = baseline_mpki(&mtage.clone().without_sc_local(), &traces);
 
-            // Big-BranchNet on top of MTAGE-SC.
-            let pack = offline_train(&big_config(), &mtage, &traces, &scale.pipeline_options());
-            let improved = pack.len();
-            let mut hybrid = HybridPredictor::new(&mtage);
-            for (r, m) in pack {
-                hybrid.attach(r.pc, AttachedModel::Float(m));
-            }
-            let plus_big = hybrid_test_mpki(&mut hybrid, &traces);
+        // Big-BranchNet on top of MTAGE-SC (trained once per process;
+        // Fig. 10 reuses the same pack).
+        let pack = cached_pack(&big_config(), &mtage, bench, scale);
+        let improved = pack.models.len();
+        let plus_big = hybrid_mpki_float(&pack, &mtage, &traces, usize::MAX);
 
-            Fig09Row {
-                bench,
-                tage_sc_l_64kb: tage64,
-                mtage_sc: mtage_mpki,
-                mtage_plus_big: plus_big,
-                gtage_only: gtage,
-                no_sc_local: no_local,
-                improved_branches: improved,
-            }
-        })
-        .collect()
+        Fig09Row {
+            bench,
+            tage_sc_l_64kb: tage64,
+            mtage_sc: mtage_mpki,
+            mtage_plus_big: plus_big,
+            gtage_only: gtage,
+            no_sc_local: no_local,
+            improved_branches: improved,
+        }
+    })
 }
 
 /// Paper-style rendering.

@@ -1,10 +1,9 @@
 //! Fig. 10: per-branch accuracy of the most-improved branches in leela
 //! and mcf — unlimited MTAGE-SC versus Big-BranchNet.
 
-use crate::harness::{trace_set, Scale};
 use crate::experiments::fig09_headroom_mpki::big_config;
+use crate::harness::{cached_pack, trace_set, Scale};
 use branchnet_core::dataset::extract;
-use branchnet_core::selection::offline_train;
 use branchnet_core::trainer::evaluate_accuracy;
 use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
 use branchnet_trace::BranchStats;
@@ -39,7 +38,8 @@ pub fn run(scale: &Scale, bench: Benchmark, top: usize) -> Fig10Result {
     let mtage = TageSclConfig::mtage_sc_unlimited();
     let traces = trace_set(bench, scale);
     let cfg = big_config();
-    let pack = offline_train(&cfg, &mtage, &traces, &scale.pipeline_options());
+    // Shared with Fig. 9: same (config, baseline, bench, scale) key.
+    let pack = cached_pack(&cfg, &mtage, bench, scale);
 
     // Test-set baseline per-branch accuracy.
     let mut test_stats = BranchStats::new();
@@ -49,9 +49,10 @@ pub fn run(scale: &Scale, bench: Benchmark, top: usize) -> Fig10Result {
     }
 
     let rows = pack
-        .into_iter()
+        .models
+        .iter()
         .take(top)
-        .filter_map(|(r, mut model)| {
+        .filter_map(|(r, model)| {
             let base = test_stats.get(r.pc)?;
             let ds = extract(&traces.test, r.pc, cfg.window_len(), cfg.pc_bits);
             if ds.is_empty() {
@@ -60,7 +61,7 @@ pub fn run(scale: &Scale, bench: Benchmark, top: usize) -> Fig10Result {
             Some(Fig10Row {
                 pc: r.pc,
                 mtage_accuracy: base.accuracy(),
-                branchnet_accuracy: evaluate_accuracy(&mut model, &ds),
+                branchnet_accuracy: evaluate_accuracy(&mut model.clone(), &ds),
                 occurrences: base.predictions(),
             })
         })

@@ -7,16 +7,16 @@
 //! * **Big-BranchNet** (float software model, headroom),
 //! * **Tarsa-Float** and **Tarsa-Ternary** (prior-work CNNs).
 
-use crate::experiments::mini_pack::{build_mini_pack, build_pack_with_menu};
-use crate::harness::{hybrid_test_mpki, test_stats, trace_set, Scale};
+use crate::experiments::mini_pack::{build_mini_pack, build_pack_with_menu, MiniPack};
+use crate::harness::{cached_pack, float_hybrid, hybrid_test_mpki, test_stats, trace_set, Scale};
+use crate::parallel::parallel_map;
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::engine::InferenceEngine;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
-use branchnet_core::selection::offline_train;
 use branchnet_core::storage::storage_breakdown;
 use branchnet_sim::{simulate, CpuConfig};
 use branchnet_tage::{TageScL, TageSclConfig};
-use branchnet_trace::TraceSet;
+use branchnet_trace::{Trace, TraceSet};
 use branchnet_workloads::spec::Benchmark;
 
 /// MPKI and IPC for one setting on one benchmark.
@@ -47,16 +47,14 @@ pub struct Fig11Row {
     pub tarsa_ternary: Setting,
 }
 
-fn evaluate_setting(hybrid: &mut HybridPredictor, traces: &TraceSet, cpu: &CpuConfig) -> Setting {
+fn evaluate_setting(hybrid: &HybridPredictor, traces: &TraceSet, cpu: &CpuConfig) -> Setting {
     let mpki = hybrid_test_mpki(hybrid, traces);
-    let mut cycles = 0u64;
-    let mut insts = 0u64;
-    for t in &traces.test {
-        hybrid.reset_runtime_state();
-        let r = simulate(t, hybrid, cpu);
-        cycles += r.cycles;
-        insts += r.instructions;
-    }
+    let runs = parallel_map(&traces.test, |t: &Trace| {
+        let mut h = hybrid.fresh_runtime_clone();
+        simulate(t, &mut h, cpu)
+    });
+    let cycles: u64 = runs.iter().map(|r| r.cycles).sum();
+    let insts: u64 = runs.iter().map(|r| r.instructions).sum();
     Setting { mpki, ipc: insts as f64 / cycles.max(1) as f64 }
 }
 
@@ -65,15 +63,21 @@ fn baseline_setting(cfg: &TageSclConfig, traces: &TraceSet, cpu: &CpuConfig) -> 
         let cfg = cfg.clone();
         test_stats(traces, || Box::new(TageScL::new(&cfg))).mpki()
     };
-    let mut cycles = 0u64;
-    let mut insts = 0u64;
-    for t in &traces.test {
+    let runs = parallel_map(&traces.test, |t: &Trace| {
         let mut p = TageScL::new(cfg);
-        let r = simulate(t, &mut p, cpu);
-        cycles += r.cycles;
-        insts += r.instructions;
-    }
+        simulate(t, &mut p, cpu)
+    });
+    let cycles: u64 = runs.iter().map(|r| r.cycles).sum();
+    let insts: u64 = runs.iter().map(|r| r.instructions).sum();
     Setting { mpki, ipc: insts as f64 / cycles.max(1) as f64 }
+}
+
+fn engine_hybrid(pack: &MiniPack, baseline: &TageSclConfig) -> HybridPredictor {
+    let mut hybrid = HybridPredictor::new(baseline);
+    for (pc, q) in &pack.models {
+        hybrid.attach(*pc, AttachedModel::Engine(InferenceEngine::new(q.clone())));
+    }
+    hybrid
 }
 
 /// Runs Fig. 11 for the given benchmarks.
@@ -84,73 +88,46 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark]) -> Vec<Fig11Row> {
     let base64 = TageSclConfig::tage_sc_l_64kb().without_sc_local();
     let base56 = TageSclConfig::tage_sc_l_56kb().without_sc_local();
 
-    benchmarks
-        .iter()
-        .map(|&bench| {
-            let traces = trace_set(bench, scale);
-            let base = baseline_setting(&base64, &traces, &cpu);
+    parallel_map(benchmarks, |&bench| {
+        let traces = trace_set(bench, scale);
+        let base = baseline_setting(&base64, &traces, &cpu);
 
-            // iso-storage: 8 KB of engines on a 56 KB baseline.
-            let pack8 = build_mini_pack(&traces, &base56, scale, 8 * 1024);
-            let mut hybrid = HybridPredictor::new(&base56);
-            for (pc, q) in pack8.models {
-                hybrid.attach(pc, AttachedModel::Engine(InferenceEngine::new(q)));
-            }
-            let iso_storage = evaluate_setting(&mut hybrid, &traces, &cpu);
+        // iso-storage: 8 KB of engines on a 56 KB baseline.
+        let pack8 = build_mini_pack(bench, &base56, scale, 8 * 1024);
+        let iso_storage = evaluate_setting(&engine_hybrid(&pack8, &base56), &traces, &cpu);
 
-            // iso-latency: 32 KB of engines on the 64 KB baseline.
-            let pack32 = build_mini_pack(&traces, &base64, scale, 32 * 1024);
-            let mut hybrid = HybridPredictor::new(&base64);
-            for (pc, q) in pack32.models {
-                hybrid.attach(pc, AttachedModel::Engine(InferenceEngine::new(q)));
-            }
-            let iso_latency = evaluate_setting(&mut hybrid, &traces, &cpu);
+        // iso-latency: 32 KB of engines on the 64 KB baseline (same
+        // menu as iso-storage only when the baselines match, so the
+        // two settings train separate menus as before).
+        let pack32 = build_mini_pack(bench, &base64, scale, 32 * 1024);
+        let iso_latency = evaluate_setting(&engine_hybrid(&pack32, &base64), &traces, &cpu);
 
-            // Big-BranchNet float headroom.
-            let big_pack =
-                offline_train(&BranchNetConfig::big_scaled(), &base64, &traces, &scale.pipeline_options());
-            let mut hybrid = HybridPredictor::new(&base64);
-            for (r, m) in big_pack {
-                hybrid.attach(r.pc, AttachedModel::Float(m));
-            }
-            let big = evaluate_setting(&mut hybrid, &traces, &cpu);
+        // Big-BranchNet float headroom.
+        let big_pack = cached_pack(&BranchNetConfig::big_scaled(), &base64, bench, scale);
+        let big = evaluate_setting(&float_hybrid(&big_pack, &base64, usize::MAX), &traces, &cpu);
 
-            // Tarsa-Float.
-            let tf_pack =
-                offline_train(&BranchNetConfig::tarsa_float(), &base64, &traces, &scale.pipeline_options());
-            let mut hybrid = HybridPredictor::new(&base64);
-            for (r, m) in tf_pack {
-                hybrid.attach(r.pc, AttachedModel::Float(m));
-            }
-            let tarsa_float = evaluate_setting(&mut hybrid, &traces, &cpu);
+        // Tarsa-Float.
+        let tf_pack = cached_pack(&BranchNetConfig::tarsa_float(), &base64, bench, scale);
+        let tarsa_float =
+            evaluate_setting(&float_hybrid(&tf_pack, &base64, usize::MAX), &traces, &cpu);
 
-            // Tarsa-Ternary: one config, up to 29 branches at
-            // 5.125 KB/branch in the paper; we budget accordingly.
-            let ternary_cfg = BranchNetConfig::tarsa_ternary();
-            let ternary_bytes =
-                (storage_breakdown(&ternary_cfg).total_bits() / 8) as usize;
-            let menu = vec![(ternary_cfg, ternary_bytes)];
-            let packt =
-                build_pack_with_menu(&traces, &base64, scale, 29 * ternary_bytes, &menu);
-            let mut hybrid = HybridPredictor::new(&base64);
-            for (pc, q) in packt.models {
-                hybrid.attach(pc, AttachedModel::Engine(InferenceEngine::new(q)));
-            }
-            let tarsa_ternary = evaluate_setting(&mut hybrid, &traces, &cpu);
+        // Tarsa-Ternary: one config, up to 29 branches at
+        // 5.125 KB/branch in the paper; we budget accordingly.
+        let ternary_cfg = BranchNetConfig::tarsa_ternary();
+        let ternary_bytes = (storage_breakdown(&ternary_cfg).total_bits() / 8) as usize;
+        let menu = vec![(ternary_cfg, ternary_bytes)];
+        let packt = build_pack_with_menu(bench, &base64, scale, 29 * ternary_bytes, &menu);
+        let tarsa_ternary = evaluate_setting(&engine_hybrid(&packt, &base64), &traces, &cpu);
 
-            Fig11Row { bench, base, iso_storage, iso_latency, big, tarsa_float, tarsa_ternary }
-        })
-        .collect()
+        Fig11Row { bench, base, iso_storage, iso_latency, big, tarsa_float, tarsa_ternary }
+    })
 }
 
 /// Percentage improvements of a setting over the per-row baseline.
 #[must_use]
 pub fn improvements(row: &Fig11Row, s: &Setting) -> (f64, f64) {
-    let mpki = if row.base.mpki > 0.0 {
-        100.0 * (row.base.mpki - s.mpki) / row.base.mpki
-    } else {
-        0.0
-    };
+    let mpki =
+        if row.base.mpki > 0.0 { 100.0 * (row.base.mpki - s.mpki) / row.base.mpki } else { 0.0 };
     let ipc = if row.base.ipc > 0.0 { 100.0 * (s.ipc / row.base.ipc - 1.0) } else { 0.0 };
     (mpki, ipc)
 }
@@ -183,9 +160,8 @@ pub fn render(rows: &[Fig11Row]) -> String {
         ));
     }
     if !rows.is_empty() {
-        let mean = |f: &dyn Fn(&Fig11Row) -> f64| {
-            rows.iter().map(f).sum::<f64>() / rows.len() as f64
-        };
+        let mean =
+            |f: &dyn Fn(&Fig11Row) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
         out.push_str(&format!(
             "mean dMPKI: isoStorage {:.1}% (paper 5.5%), isoLatency {:.1}% (paper 9.6%), Big {:.1}%\n",
             mean(&|r| improvements(r, &r.iso_storage).0),

@@ -5,10 +5,9 @@
 //! reproduction sweeps the per-branch training-example budget, which
 //! is the same lever (examples scale linearly with trace count).
 
-use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use crate::harness::{baseline_mpki, cached_pack, hybrid_mpki_float, trace_set, Scale};
+use crate::parallel::parallel_map;
 use branchnet_core::config::BranchNetConfig;
-use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
-use branchnet_core::selection::offline_train;
 use branchnet_tage::TageSclConfig;
 use branchnet_workloads::spec::Benchmark;
 
@@ -27,28 +26,28 @@ pub fn run(scale: &Scale, bench: Benchmark) -> Vec<Fig12Point> {
     let baseline = TageSclConfig::tage_sc_l_64kb();
     let traces = trace_set(bench, scale);
     let base = baseline_mpki(&baseline, &traces);
-    [scale.max_examples / 8, scale.max_examples / 4, scale.max_examples / 2, scale.max_examples]
-        .into_iter()
-        .map(|examples| {
+    // Each point trains a distinct pack (the per-point scale differs
+    // in `max_examples`, so the cache keys differ), but all points
+    // share the one trace set because the trace cache keys on
+    // `branches_per_trace` alone.
+    parallel_map(
+        &[
+            scale.max_examples / 8,
+            scale.max_examples / 4,
+            scale.max_examples / 2,
+            scale.max_examples,
+        ],
+        |&examples| {
             let mut s = *scale;
             s.max_examples = examples.max(50);
-            let pack = offline_train(
-                &BranchNetConfig::big_scaled(),
-                &baseline,
-                &traces,
-                &s.pipeline_options(),
-            );
-            let mut hybrid = HybridPredictor::new(&baseline);
-            for (r, m) in pack {
-                hybrid.attach(r.pc, AttachedModel::Float(m));
-            }
-            let mpki = hybrid_test_mpki(&mut hybrid, &traces);
+            let pack = cached_pack(&BranchNetConfig::big_scaled(), &baseline, bench, &s);
+            let mpki = hybrid_mpki_float(&pack, &baseline, &traces, usize::MAX);
             Fig12Point {
                 examples: s.max_examples,
                 mpki_reduction_pct: if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 },
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Paper-style rendering.

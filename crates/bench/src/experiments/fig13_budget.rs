@@ -1,8 +1,10 @@
 //! Fig. 13: sensitivity of iso-latency Mini-BranchNet to its total
 //! storage budget (8 / 16 / 32 / 64 KB packs on the 64 KB baseline).
 
-use crate::experiments::mini_pack::build_mini_pack;
+use crate::experiments::mini_pack::{cached_menu, pack_from_menu};
 use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use crate::parallel::parallel_map;
+use branchnet_core::config::BranchNetConfig;
 use branchnet_core::engine::InferenceEngine;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet_tage::TageSclConfig;
@@ -25,27 +27,32 @@ pub struct Fig13Point {
 #[must_use]
 pub fn run(scale: &Scale, benchmarks: &[Benchmark], budgets_kb: &[usize]) -> Vec<Fig13Point> {
     let baseline = TageSclConfig::tage_sc_l_64kb().without_sc_local();
-    let mut out = Vec::new();
-    for &bench in benchmarks {
+    let per_bench = parallel_map(benchmarks, |&bench| {
         let traces = trace_set(bench, scale);
         let base = baseline_mpki(&baseline, &traces);
-        for &kb in budgets_kb {
-            let pack = build_mini_pack(&traces, &baseline, scale, kb * 1024);
-            let models = pack.models.len();
-            let mut hybrid = HybridPredictor::new(&baseline);
-            for (pc, q) in pack.models {
-                hybrid.attach(pc, AttachedModel::Engine(InferenceEngine::new(q)));
-            }
-            let mpki = hybrid_test_mpki(&mut hybrid, &traces);
-            out.push(Fig13Point {
-                bench,
-                budget_kb: kb,
-                mpki_reduction_pct: if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 },
-                models,
-            });
-        }
-    }
-    out
+        // One trained menu serves every budget point: only the cheap
+        // knapsack re-runs per budget.
+        let menu = cached_menu(bench, &baseline, scale, &BranchNetConfig::mini_menu());
+        budgets_kb
+            .iter()
+            .map(|&kb| {
+                let pack = pack_from_menu(&menu, kb * 1024);
+                let models = pack.models.len();
+                let mut hybrid = HybridPredictor::new(&baseline);
+                for (pc, q) in pack.models {
+                    hybrid.attach(pc, AttachedModel::Engine(InferenceEngine::new(q)));
+                }
+                let mpki = hybrid_test_mpki(&hybrid, &traces);
+                Fig13Point {
+                    bench,
+                    budget_kb: kb,
+                    mpki_reduction_pct: if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 },
+                    models,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    per_bench.into_iter().flatten().collect()
 }
 
 /// Paper-style rendering.

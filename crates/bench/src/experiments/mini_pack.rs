@@ -7,8 +7,16 @@
 //! validation traces (selection must see the accuracy the hardware
 //! will actually deliver); then an exact knapsack picks the best
 //! per-branch model sizes under the total storage budget.
+//!
+//! Menu training (the expensive part) is separated from the knapsack
+//! (cheap) and memoized in the [`ArtifactCache`], so a budget sweep
+//! like Fig. 13's trains each benchmark's menu exactly once. Candidate
+//! menus train in parallel (ordered fan-out, so results are identical
+//! to the serial loop).
 
-use crate::harness::Scale;
+use crate::cache::ArtifactCache;
+use crate::harness::{trace_set, Scale};
+use crate::parallel::parallel_map;
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::dataset::extract;
 use branchnet_core::quantize::{QuantMode, QuantizedMini};
@@ -17,11 +25,28 @@ use branchnet_core::storage::storage_breakdown;
 use branchnet_core::trainer::train_model;
 use branchnet_tage::TageSclConfig;
 use branchnet_trace::TraceSet;
+use branchnet_workloads::spec::Benchmark;
+use std::sync::Arc;
 
 /// One branch's trained menu entry.
-struct MenuEntry {
-    quant: QuantizedMini,
-    bytes: usize,
+#[derive(Debug, Clone)]
+pub struct MenuEntry {
+    /// The quantized model for this (branch, config) cell.
+    pub quant: QuantizedMini,
+    /// Its engine storage in bytes.
+    pub bytes: usize,
+}
+
+/// The trained, quantized, validation-scored menu for one benchmark:
+/// everything the knapsack needs, for any budget.
+#[derive(Debug, Clone)]
+pub struct TrainedMenu {
+    /// Per-candidate `(bytes, value)` choices for [`assign_budget`].
+    pub items: Vec<BudgetItem>,
+    /// Per-candidate trained entries, parallel to `items` (an entry is
+    /// `None` when the branch had too few training examples for that
+    /// config).
+    pub entries: Vec<Vec<Option<MenuEntry>>>,
 }
 
 /// A budgeted pack of quantized models ready to attach as engines.
@@ -32,36 +57,23 @@ pub struct MiniPack {
     pub total_bytes: usize,
 }
 
-/// Trains the Mini menu for the top validation hard branches and
-/// solves the `budget_bytes` assignment.
+/// Trains and scores the full menu for every candidate branch (the
+/// budget-independent part of pack building).
 #[must_use]
-pub fn build_mini_pack(
+pub fn train_menu(
     traces: &TraceSet,
     baseline: &TageSclConfig,
     scale: &Scale,
-    budget_bytes: usize,
-) -> MiniPack {
-    build_pack_with_menu(traces, baseline, scale, budget_bytes, &BranchNetConfig::mini_menu())
-}
-
-/// Like [`build_mini_pack`] but with an explicit config menu (used for
-/// Tarsa-Ternary, whose "menu" is a single config).
-#[must_use]
-pub fn build_pack_with_menu(
-    traces: &TraceSet,
-    baseline: &TageSclConfig,
-    scale: &Scale,
-    budget_bytes: usize,
     menu: &[(BranchNetConfig, usize)],
-) -> MiniPack {
+) -> TrainedMenu {
     let opts: PipelineOptions = scale.pipeline_options();
     let (pcs, stats) = rank_hard_branches(baseline, &traces.valid, opts.candidates);
 
     // Train the full menu per candidate and score quantized accuracy.
-    let mut items: Vec<BudgetItem> = Vec::new();
-    let mut menus: Vec<Vec<Option<MenuEntry>>> = Vec::new();
-    for &pc in &pcs {
-        let Some(base_stats) = stats.get(pc) else { continue };
+    // Candidates fan out in parallel; each is seeded by its own
+    // (config, dataset, options), so order cannot affect results.
+    let per_candidate = parallel_map(&pcs, |&pc| {
+        let base_stats = stats.get(pc)?;
         let base_acc = base_stats.accuracy();
         let occurrences = base_stats.predictions();
         let mut entries: Vec<Option<MenuEntry>> = Vec::new();
@@ -82,49 +94,109 @@ pub fn build_pack_with_menu(
                 .iter()
                 .filter(|e| quant.predict(&e.window, QuantMode::Full) == (e.label >= 0.5))
                 .count();
-            let acc = if valid_ds.is_empty() {
-                0.0
-            } else {
-                correct as f64 / valid_ds.len() as f64
-            };
+            let acc =
+                if valid_ds.is_empty() { 0.0 } else { correct as f64 / valid_ds.len() as f64 };
             let avoided = occurrences * (acc - base_acc - opts.selection_margin);
             let bytes = (storage_breakdown(config).total_bits() / 8) as usize;
             entries.push(Some(MenuEntry { quant, bytes }));
             choices.push((bytes, avoided));
         }
-        items.push(BudgetItem { pc, choices });
-        menus.push(entries);
-    }
+        Some((BudgetItem { pc, choices }, entries))
+    });
 
-    let picks = assign_budget(&items, budget_bytes);
+    let mut items = Vec::new();
+    let mut entries = Vec::new();
+    for (item, menu_row) in per_candidate.into_iter().flatten() {
+        items.push(item);
+        entries.push(menu_row);
+    }
+    TrainedMenu { items, entries }
+}
+
+/// The trained menu for `(menu, baseline, bench, scale)`, trained once
+/// per process and shared via the [`ArtifactCache`].
+#[must_use]
+pub fn cached_menu(
+    bench: Benchmark,
+    baseline: &TageSclConfig,
+    scale: &Scale,
+    menu: &[(BranchNetConfig, usize)],
+) -> Arc<TrainedMenu> {
+    ArtifactCache::global().menu(menu, baseline, bench, scale, || {
+        let traces = trace_set(bench, scale);
+        train_menu(&traces, baseline, scale, menu)
+    })
+}
+
+/// Solves the `budget_bytes` assignment over an already-trained menu
+/// (the cheap, per-budget part of pack building).
+#[must_use]
+pub fn pack_from_menu(menu: &TrainedMenu, budget_bytes: usize) -> MiniPack {
+    let picks = assign_budget(&menu.items, budget_bytes);
     let mut models = Vec::new();
     let mut total_bytes = 0usize;
-    for ((item, pick), entries) in items.iter().zip(&picks).zip(menus.into_iter()) {
+    for ((item, pick), entries) in menu.items.iter().zip(&picks).zip(&menu.entries) {
         if let Some(ci) = pick {
-            if let Some(entry) = entries.into_iter().nth(*ci).flatten() {
+            if let Some(entry) = entries.get(*ci).and_then(Option::as_ref) {
                 total_bytes += entry.bytes;
-                models.push((item.pc, entry.quant));
+                models.push((item.pc, entry.quant.clone()));
             }
         }
     }
     MiniPack { models, total_bytes }
 }
 
+/// Trains the Mini menu for the top validation hard branches of
+/// `bench` (memoized) and solves the `budget_bytes` assignment.
+#[must_use]
+pub fn build_mini_pack(
+    bench: Benchmark,
+    baseline: &TageSclConfig,
+    scale: &Scale,
+    budget_bytes: usize,
+) -> MiniPack {
+    build_pack_with_menu(bench, baseline, scale, budget_bytes, &BranchNetConfig::mini_menu())
+}
+
+/// Like [`build_mini_pack`] but with an explicit config menu (used for
+/// Tarsa-Ternary, whose "menu" is a single config).
+#[must_use]
+pub fn build_pack_with_menu(
+    bench: Benchmark,
+    baseline: &TageSclConfig,
+    scale: &Scale,
+    budget_bytes: usize,
+    menu: &[(BranchNetConfig, usize)],
+) -> MiniPack {
+    pack_from_menu(&cached_menu(bench, baseline, scale, menu), budget_bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::trace_set;
-    use branchnet_workloads::spec::Benchmark;
 
     #[test]
     fn pack_respects_budget_and_finds_models() {
         let scale =
             Scale { branches_per_trace: 20_000, candidates: 4, epochs: 6, max_examples: 800 };
-        let traces = trace_set(Benchmark::Xz, &scale);
         let baseline = TageSclConfig::tage_sc_l_64kb();
         let budget = 8 * 1024;
-        let pack = build_mini_pack(&traces, &baseline, &scale, budget);
+        let pack = build_mini_pack(Benchmark::Xz, &baseline, &scale, budget);
         assert!(pack.total_bytes <= budget + 64 * pack.models.len(), "budget exceeded");
         assert!(!pack.models.is_empty(), "xz has count-correlated branches a pack must find");
+    }
+
+    #[test]
+    fn budget_sweep_reuses_one_trained_menu() {
+        let scale =
+            Scale { branches_per_trace: 20_000, candidates: 4, epochs: 6, max_examples: 800 };
+        let baseline = TageSclConfig::tage_sc_l_64kb();
+        let menu = cached_menu(Benchmark::Xz, &baseline, &scale, &BranchNetConfig::mini_menu());
+        // Re-solving different budgets over the shared menu must be
+        // monotone in selected storage without retraining anything.
+        let small = pack_from_menu(&menu, 4 * 1024);
+        let large = pack_from_menu(&menu, 32 * 1024);
+        assert!(large.models.len() >= small.models.len());
+        assert!(large.total_bytes >= small.total_bytes);
     }
 }

@@ -6,12 +6,11 @@
 //! * Table IV — leela's MPKI-reduction ladder from Big-BranchNet down
 //!   to fully-quantized Mini-BranchNet (measured).
 
-use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use crate::harness::{baseline_mpki, cached_pack, hybrid_test_mpki, trace_set, Scale};
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::engine::InferenceEngine;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet_core::quantize::QuantizedMini;
-use branchnet_core::selection::offline_train;
 use branchnet_core::storage::storage_breakdown;
 use branchnet_tage::TageSclConfig;
 use branchnet_workloads::spec::{Benchmark, SpecSuite};
@@ -117,56 +116,44 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
     let base = baseline_mpki(&baseline, &traces);
     let reduction = |mpki: f64| if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 };
 
-    // Rung 1: Big-BranchNet, no capacity limit.
-    let big_pack = offline_train(
-        &BranchNetConfig::big_scaled(),
-        &baseline,
-        &traces,
-        &scale.pipeline_options(),
-    );
-    let big_pcs: Vec<u64> = big_pack.iter().map(|(r, _)| r.pc).collect();
+    // Rung 1: Big-BranchNet, no capacity limit. Rung 2 reuses the
+    // same cached pack (the serial version trained it twice).
+    let big_pack = cached_pack(&BranchNetConfig::big_scaled(), &baseline, bench, scale);
     let mut hybrid = HybridPredictor::new(&baseline);
-    for (r, m) in big_pack {
-        hybrid.attach(r.pc, AttachedModel::Float(m));
+    for (r, m) in &big_pack.models {
+        hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
     }
-    let big_all = reduction(hybrid_test_mpki(&mut hybrid, &traces));
+    let big_all = reduction(hybrid_test_mpki(&hybrid, &traces));
 
     // Mini models (2 KB config) for the same branches.
     let mini_cfg = BranchNetConfig::mini_2kb();
-    let mini_pack = offline_train(&mini_cfg, &baseline, &traces, &scale.pipeline_options());
-    let mini_pcs: Vec<u64> = mini_pack.iter().map(|(r, _)| r.pc).collect();
+    let mini_pack = cached_pack(&mini_cfg, &baseline, bench, scale);
+    let mini_pcs: Vec<u64> = mini_pack.models.iter().map(|(r, _)| r.pc).collect();
 
     // Rung 2: Big restricted to the branches Mini covers.
     let big_same = {
-        let pack = offline_train(
-            &BranchNetConfig::big_scaled(),
-            &baseline,
-            &traces,
-            &scale.pipeline_options(),
-        );
         let mut hybrid = HybridPredictor::new(&baseline);
-        for (r, m) in pack {
+        for (r, m) in &big_pack.models {
             if mini_pcs.contains(&r.pc) {
-                hybrid.attach(r.pc, AttachedModel::Float(m));
+                hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
             }
         }
-        reduction(hybrid_test_mpki(&mut hybrid, &traces))
+        reduction(hybrid_test_mpki(&hybrid, &traces))
     };
-    let _ = big_pcs;
 
     // Rungs 3–5 share the same trained Mini float models.
     let mut float_hybrid = HybridPredictor::new(&baseline);
     let mut conv_hybrid = HybridPredictor::new(&baseline);
     let mut full_hybrid = HybridPredictor::new(&baseline);
-    for (r, m) in mini_pack {
-        let quant = QuantizedMini::from_model(&m);
+    for (r, m) in &mini_pack.models {
+        let quant = QuantizedMini::from_model(m);
         conv_hybrid.attach(r.pc, AttachedModel::ConvQuant(quant.clone()));
         full_hybrid.attach(r.pc, AttachedModel::Engine(InferenceEngine::new(quant)));
-        float_hybrid.attach(r.pc, AttachedModel::Float(m));
+        float_hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
     }
-    let mini_float = reduction(hybrid_test_mpki(&mut float_hybrid, &traces));
-    let mini_conv = reduction(hybrid_test_mpki(&mut conv_hybrid, &traces));
-    let mini_full = reduction(hybrid_test_mpki(&mut full_hybrid, &traces));
+    let mini_float = reduction(hybrid_test_mpki(&float_hybrid, &traces));
+    let mini_conv = reduction(hybrid_test_mpki(&conv_hybrid, &traces));
+    let mini_full = reduction(hybrid_test_mpki(&full_hybrid, &traces));
 
     vec![
         Table4Row { label: "Big-BranchNet: no branch capacity limit", mpki_reduction_pct: big_all },

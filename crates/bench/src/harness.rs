@@ -1,5 +1,7 @@
 //! Shared experiment plumbing.
 
+use crate::cache::ArtifactCache;
+use crate::parallel::parallel_map;
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet_core::selection::{offline_train, CandidateResult, PipelineOptions};
@@ -7,12 +9,13 @@ use branchnet_core::trainer::TrainOptions;
 use branchnet_tage::{evaluate, Predictor, TageScL, TageSclConfig};
 use branchnet_trace::{PredictionStats, Trace, TraceSet};
 use branchnet_workloads::spec::{Benchmark, SpecSuite};
+use std::sync::Arc;
 
 /// Experiment sizing profile. `quick` (the default) runs in minutes on
 /// a laptop; `full` uses longer traces and more candidates/epochs.
 /// Selected via the `BRANCHNET_SCALE` environment variable
 /// (`quick`/`full`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Scale {
     /// Branches generated per trace (per input).
     pub branches_per_trace: usize,
@@ -37,13 +40,35 @@ impl Scale {
         Self { branches_per_trace: 200_000, candidates: 16, epochs: 24, max_examples: 4_000 }
     }
 
+    /// Resolves a `BRANCHNET_SCALE`-style value (case-insensitive;
+    /// `None` means unset and selects `quick`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value: silently falling back to
+    /// `quick` would make a typo like `BRANCHNET_SCALE=ful` run the
+    /// wrong experiment for hours.
+    #[must_use]
+    pub fn from_value(value: Option<&str>) -> Self {
+        match value.map(str::to_ascii_lowercase).as_deref() {
+            None | Some("quick") => Self::quick(),
+            Some("full") => Self::full(),
+            Some(other) => panic!(
+                "unrecognized BRANCHNET_SCALE value {other:?}: expected \"quick\" or \"full\""
+            ),
+        }
+    }
+
     /// Reads `BRANCHNET_SCALE` (default `quick`).
     #[must_use]
     pub fn from_env() -> Self {
-        match std::env::var("BRANCHNET_SCALE").as_deref() {
-            Ok("full") => Self::full(),
-            _ => Self::quick(),
-        }
+        Self::from_value(std::env::var("BRANCHNET_SCALE").ok().as_deref())
+    }
+
+    /// Whether this is the thorough profile.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        *self == Self::full()
     }
 
     /// Training options derived from this scale.
@@ -68,22 +93,32 @@ impl Scale {
     }
 }
 
-/// Generates the Table III trace set for one benchmark at this scale.
+/// The Table III trace set for one benchmark at this scale, generated
+/// once per process and shared via the [`ArtifactCache`].
 #[must_use]
-pub fn trace_set(bench: Benchmark, scale: &Scale) -> TraceSet {
-    SpecSuite::benchmark(bench).trace_set(scale.branches_per_trace)
+pub fn trace_set(bench: Benchmark, scale: &Scale) -> Arc<TraceSet> {
+    ArtifactCache::global().trace_set(bench, scale.branches_per_trace, || {
+        SpecSuite::benchmark(bench).trace_set(scale.branches_per_trace)
+    })
 }
 
 /// Weighted test-set statistics of a predictor built fresh per trace
-/// (per-SimPoint cold-start evaluation, as in the paper).
-pub fn test_stats<F>(traces: &TraceSet, mut build: F) -> PredictionStats
+/// (per-SimPoint cold-start evaluation, as in the paper). Traces are
+/// evaluated in parallel; results are merged in trace order, so the
+/// numbers match the serial loop exactly.
+pub fn test_stats<F>(traces: &TraceSet, build: F) -> PredictionStats
 where
-    F: FnMut() -> Box<dyn Predictor>,
+    F: Fn() -> Box<dyn Predictor> + Sync,
 {
-    traces.weighted_test_stats(|t: &Trace| {
+    let per_trace = parallel_map(&traces.test, |t: &Trace| {
         let mut p = build();
         evaluate(p.as_mut(), t)
-    })
+    });
+    let mut agg = PredictionStats::new();
+    for (stats, t) in per_trace.iter().zip(&traces.test) {
+        agg.merge_weighted(stats, t.weight());
+    }
+    agg
 }
 
 /// MPKI of a TAGE-SC-L configuration on the test traces.
@@ -111,32 +146,62 @@ pub fn train_pack(
     TrainedPack { models: offline_train(config, baseline, traces, &scale.pipeline_options()) }
 }
 
-/// Consumes a pack's top `limit` models into a hybrid and returns its
-/// weighted test MPKI. The baseline and engine runtime state reset
-/// per trace (cold-start per SimPoint); the frozen CNN weights are
-/// shared, exactly like deployed BranchNet models (Section V-E).
+/// The trained pack for `(config, baseline, bench, scale)`, trained
+/// once per process and shared via the [`ArtifactCache`] (so e.g.
+/// Fig. 9 and Fig. 10 train the Big pack for a benchmark exactly
+/// once).
+#[must_use]
+pub fn cached_pack(
+    config: &BranchNetConfig,
+    baseline: &TageSclConfig,
+    bench: Benchmark,
+    scale: &Scale,
+) -> Arc<TrainedPack> {
+    ArtifactCache::global().pack(config, baseline, bench, scale, || {
+        let traces = trace_set(bench, scale);
+        train_pack(config, baseline, &traces, scale)
+    })
+}
+
+/// Assembles a hybrid from a pack's top `limit` float models (cloning
+/// the frozen weights, so the shared pack stays reusable).
+#[must_use]
+pub fn float_hybrid(pack: &TrainedPack, baseline: &TageSclConfig, limit: usize) -> HybridPredictor {
+    let mut hybrid = HybridPredictor::new(baseline);
+    for (r, m) in pack.models.iter().take(limit) {
+        hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
+    }
+    hybrid
+}
+
+/// Weighted test MPKI of a pack's top `limit` models attached as float
+/// CNNs. The baseline and engine runtime state reset per trace
+/// (cold-start per SimPoint); the frozen CNN weights are shared,
+/// exactly like deployed BranchNet models (Section V-E).
 #[must_use]
 pub fn hybrid_mpki_float(
-    pack: TrainedPack,
+    pack: &TrainedPack,
     baseline: &TageSclConfig,
     traces: &TraceSet,
     limit: usize,
 ) -> f64 {
-    let mut hybrid = HybridPredictor::new(baseline);
-    for (r, m) in pack.models.into_iter().take(limit) {
-        hybrid.attach(r.pc, AttachedModel::Float(m));
-    }
-    hybrid_test_mpki(&mut hybrid, traces)
+    hybrid_test_mpki(&float_hybrid(pack, baseline, limit), traces)
 }
 
-/// Weighted test MPKI of an already-assembled hybrid, resetting
-/// runtime state before each trace.
+/// Weighted test MPKI of an already-assembled hybrid. Each trace is
+/// evaluated on a cold [`HybridPredictor::fresh_runtime_clone`] (in
+/// parallel), which is equivalent to the serial
+/// reset-then-evaluate-per-trace loop; results are merged in trace
+/// order.
 #[must_use]
-pub fn hybrid_test_mpki(hybrid: &mut HybridPredictor, traces: &TraceSet) -> f64 {
+pub fn hybrid_test_mpki(hybrid: &HybridPredictor, traces: &TraceSet) -> f64 {
+    let per_trace = parallel_map(&traces.test, |t: &Trace| {
+        let mut h = hybrid.fresh_runtime_clone();
+        evaluate(&mut h, t)
+    });
     let mut agg = PredictionStats::new();
-    for t in &traces.test {
-        hybrid.reset_runtime_state();
-        agg.merge_weighted(&evaluate(hybrid, t), t.weight());
+    for (stats, t) in per_trace.iter().zip(&traces.test) {
+        agg.merge_weighted(stats, t.weight());
     }
     agg.mpki()
 }
@@ -155,10 +220,31 @@ pub fn reduction_pct(baseline: f64, improved: f64) -> f64 {
 mod tests {
     use super::*;
 
+    // `Scale::from_value` is pure, so these tests never touch the
+    // process environment (env mutation races with the multithreaded
+    // test runner).
     #[test]
-    fn scale_from_env_defaults_to_quick() {
-        std::env::remove_var("BRANCHNET_SCALE");
-        assert_eq!(Scale::from_env(), Scale::quick());
+    fn scale_from_value_defaults_to_quick() {
+        assert_eq!(Scale::from_value(None), Scale::quick());
+    }
+
+    #[test]
+    fn scale_from_value_is_case_insensitive() {
+        assert_eq!(Scale::from_value(Some("quick")), Scale::quick());
+        assert_eq!(Scale::from_value(Some("FULL")), Scale::full());
+        assert_eq!(Scale::from_value(Some("Full")), Scale::full());
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized BRANCHNET_SCALE")]
+    fn scale_from_value_rejects_unknown() {
+        let _ = Scale::from_value(Some("ful"));
+    }
+
+    #[test]
+    fn is_full_distinguishes_profiles() {
+        assert!(Scale::full().is_full());
+        assert!(!Scale::quick().is_full());
     }
 
     #[test]
@@ -169,7 +255,19 @@ mod tests {
 
     #[test]
     fn trace_set_has_table3_shape() {
-        let ts = trace_set(Benchmark::Xz, &Scale { branches_per_trace: 2_000, candidates: 2, epochs: 1, max_examples: 100 });
+        let ts = trace_set(
+            Benchmark::Xz,
+            &Scale { branches_per_trace: 2_000, candidates: 2, epochs: 1, max_examples: 100 },
+        );
         assert_eq!((ts.train.len(), ts.valid.len(), ts.test.len()), (3, 2, 3));
+    }
+
+    #[test]
+    fn trace_set_is_shared_across_lookups() {
+        let scale =
+            Scale { branches_per_trace: 2_000, candidates: 2, epochs: 1, max_examples: 100 };
+        let a = trace_set(Benchmark::Xz, &scale);
+        let b = trace_set(Benchmark::Xz, &scale);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

@@ -8,7 +8,9 @@
 //! (minutes, default) and a `full` profile (closer to paper scale) via
 //! the `BRANCHNET_SCALE` environment variable.
 
+pub mod cache;
 pub mod experiments;
 pub mod harness;
+pub mod parallel;
 
 pub use harness::Scale;

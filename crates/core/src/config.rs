@@ -361,14 +361,16 @@ mod tests {
         // Paper Section V-D: sum-pooling savings let Mini use longer
         // histories than both Big's nominal knobs and Tarsa.
         assert!(
-            BranchNetConfig::mini_1kb().max_history() > BranchNetConfig::tarsa_ternary().max_history()
+            BranchNetConfig::mini_1kb().max_history()
+                > BranchNetConfig::tarsa_ternary().max_history()
         );
     }
 
     #[test]
     fn total_pooled_counts_channels() {
         let cfg = BranchNetConfig::mini_1kb();
-        let expect: usize = cfg.slices.iter().map(|s| s.channels * (s.history / s.pool_width)).sum();
+        let expect: usize =
+            cfg.slices.iter().map(|s| s.channels * (s.history / s.pool_width)).sum();
         assert_eq!(cfg.total_pooled(), expect);
     }
 

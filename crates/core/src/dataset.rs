@@ -58,9 +58,8 @@ impl BranchDataset {
     pub fn subsample(&mut self, cap: usize) {
         if self.examples.len() > cap && cap > 0 {
             let stride = self.examples.len() as f64 / cap as f64;
-            let picked: Vec<Example> = (0..cap)
-                .map(|i| self.examples[(i as f64 * stride) as usize].clone())
-                .collect();
+            let picked: Vec<Example> =
+                (0..cap).map(|i| self.examples[(i as f64 * stride) as usize].clone()).collect();
             self.examples = picked;
         }
     }

@@ -55,8 +55,23 @@ pub struct InferenceEngine {
 
 impl InferenceEngine {
     /// Wraps a quantized model with fresh streaming state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's config is not hashed
+    /// (`conv_hash_bits: None`): the streaming update path looks up
+    /// hashed convolution tables, so a float/Big-style config can
+    /// never run on the engine. Rejecting it here (rather than deep in
+    /// [`update`](Self::update)) gives the caller an actionable error
+    /// at construction time.
     #[must_use]
     pub fn new(model: QuantizedMini) -> Self {
+        assert!(
+            model.config().is_hashed(),
+            "InferenceEngine requires a hashed model config (conv_hash_bits = Some): \
+             config '{}' has no convolution hash and cannot stream",
+            model.config().name
+        );
         let slices = model
             .slices()
             .iter()
@@ -92,7 +107,9 @@ impl InferenceEngine {
         self.recent.push_back(encoded);
         let window = self.recent.make_contiguous();
         let end = window.len() - 1;
-        let h_bits = self.model.config().conv_hash_bits.expect("hashed model");
+        // Validated in `new`: engines are only constructed around
+        // hashed configs.
+        let h_bits = self.model.config().conv_hash_bits.expect("validated in InferenceEngine::new");
         let id = conv_hash(window, end, k, h_bits);
         for (s, state) in self.model.slices().iter().zip(&mut self.slices) {
             let c = s.cfg.channels;
@@ -135,6 +152,9 @@ impl InferenceEngine {
                     // so the newest window ends at the newest branch.
                     let have = signs.len();
                     let pad = s.cfg.history - have;
+                    // `ch` indexes the *inner* per-branch sign vectors,
+                    // not `signs` itself, so an iterator doesn't apply.
+                    #[allow(clippy::needless_range_loop)]
                     for ch in 0..c {
                         for w in 0..windows {
                             let mut acc = 0i32;
@@ -151,6 +171,8 @@ impl InferenceEngine {
                 SliceState::Sliding { completed, .. } => {
                     let have = completed.len();
                     let pad = windows - have;
+                    // As above: `ch` indexes the inner window sums.
+                    #[allow(clippy::needless_range_loop)]
                     for ch in 0..c {
                         for w in 0..windows {
                             sums.push(if w >= pad { completed[w - pad][ch] } else { 0 });
@@ -330,9 +352,6 @@ mod tests {
     fn storage_matches_config_breakdown() {
         let quant = quick_model(false);
         let engine = InferenceEngine::new(quant.clone());
-        assert_eq!(
-            engine.storage().total_bits(),
-            storage_breakdown(quant.config()).total_bits()
-        );
+        assert_eq!(engine.storage().total_bits(), storage_breakdown(quant.config()).total_bits());
     }
 }

@@ -12,8 +12,11 @@ use branchnet_trace::BranchRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 
-/// A per-branch model attached to the hybrid predictor.
-#[derive(Debug)]
+/// A per-branch model attached to the hybrid predictor. Cloning
+/// copies the frozen weights together with any runtime state (engine
+/// histories); pair a clone with
+/// [`HybridPredictor::reset_runtime_state`] to get a cold start.
+#[derive(Debug, Clone)]
 pub enum AttachedModel {
     /// Floating-point CNN (Big-BranchNet, Tarsa-Float, or Mini before
     /// quantization) evaluated on the live history window.
@@ -100,9 +103,58 @@ impl HybridPredictor {
     /// Attaches a model for the static branch at `pc` (replacing any
     /// previous one). This is the OS "load BranchNet model" operation
     /// of Section V-F.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a quantized/engine model is built on a non-hashed
+    /// config: those datapaths look up hashed convolution tables, so
+    /// accepting such an attach would only defer the failure to the
+    /// first prediction ([`InferenceEngine::new`] and
+    /// [`QuantizedMini::from_model`] enforce the same invariant at
+    /// construction time; this check keeps the predictor sound even
+    /// for models built by other means, e.g. deserialization).
     pub fn attach(&mut self, pc: u64, model: AttachedModel) {
+        let hashed_cfg = match &model {
+            AttachedModel::Float(_) => None,
+            AttachedModel::ConvQuant(q) => Some(q.config()),
+            AttachedModel::Engine(e) => Some(e.model().config()),
+        };
+        if let Some(cfg) = hashed_cfg {
+            assert!(
+                cfg.is_hashed(),
+                "cannot attach a quantized/engine model with a non-hashed config \
+                 (conv_hash_bits = None): config '{}'",
+                cfg.name
+            );
+        }
         self.max_window = self.max_window.max(model.window_len());
         self.models.insert(pc, model);
+    }
+
+    /// A cold copy for parallel evaluation: same attached (frozen)
+    /// models, fresh baseline predictor, empty histories. Equivalent
+    /// to `clone()` followed by
+    /// [`reset_runtime_state`](Self::reset_runtime_state), so
+    /// evaluating traces on clones gives bit-identical results to
+    /// evaluating them serially on one predictor with per-trace
+    /// resets.
+    #[must_use]
+    pub fn fresh_runtime_clone(&self) -> Self {
+        let mut copy = Self {
+            baseline_cfg: self.baseline_cfg.clone(),
+            base: TageScL::new(&self.baseline_cfg),
+            models: self.models.clone(),
+            raw: VecDeque::new(),
+            max_window: self.max_window,
+            stats: HybridStats::default(),
+            name: self.name,
+        };
+        for model in copy.models.values_mut() {
+            if let AttachedModel::Engine(e) = model {
+                e.reset();
+            }
+        }
+        copy
     }
 
     /// Number of attached models.
@@ -276,11 +328,8 @@ mod tests {
         let test_trace = counting_trace(99, 30_000);
         let cfg = mini_config();
         let ds = extract(&[train_trace], 0x90, cfg.window_len(), cfg.pc_bits);
-        let (model, report) = train_model(
-            &cfg,
-            &ds,
-            &TrainOptions { epochs: 24, lr: 0.02, ..Default::default() },
-        );
+        let (model, report) =
+            train_model(&cfg, &ds, &TrainOptions { epochs: 24, lr: 0.02, ..Default::default() });
         // Quantization-aware training costs some headline accuracy;
         // the decisive check is the MPKI comparison below.
         assert!(report.train_accuracy > 0.78, "train accuracy {}", report.train_accuracy);
@@ -340,11 +389,40 @@ mod tests {
     }
 
     #[test]
+    fn fresh_runtime_clone_matches_serial_reset_evaluation() {
+        // Per-trace cold-start evaluation on clones must be
+        // bit-identical to the serial reset-then-evaluate loop — this
+        // is what lets the bench harness fan traces out across
+        // threads without changing any reported number.
+        let cfg = mini_config();
+        let ds = extract(&[counting_trace(1, 8_000)], 0x90, cfg.window_len(), cfg.pc_bits);
+        let (model, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 2, ..Default::default() });
+        let quant = QuantizedMini::from_model(&model);
+        let mut hybrid = HybridPredictor::new(&TageSclConfig::tage_sc_l_64kb());
+        hybrid.attach(0x90, AttachedModel::Engine(InferenceEngine::new(quant)));
+        hybrid.attach(0x10, AttachedModel::Float(model));
+
+        let traces = [counting_trace(11, 3_000), counting_trace(12, 3_000)];
+        let serial: Vec<f64> = traces
+            .iter()
+            .map(|t| {
+                hybrid.reset_runtime_state();
+                evaluate(&mut hybrid, t).mispredictions()
+            })
+            .collect();
+        for (t, &expected) in traces.iter().zip(&serial) {
+            let mut clone = hybrid.fresh_runtime_clone();
+            assert_eq!(evaluate(&mut clone, t).mispredictions(), expected);
+        }
+    }
+
+    #[test]
     fn attach_replaces_previous_model() {
         let cfg = mini_config();
         let ds = extract(&[counting_trace(1, 4_000)], 0x90, cfg.window_len(), cfg.pc_bits);
         let (m1, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 1, ..Default::default() });
-        let (m2, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 1, seed: 5, ..Default::default() });
+        let (m2, _) =
+            train_model(&cfg, &ds, &TrainOptions { epochs: 1, seed: 5, ..Default::default() });
         let mut hybrid = HybridPredictor::new(&TageSclConfig::tage_sc_l_64kb());
         hybrid.attach(0x90, AttachedModel::Float(m1));
         hybrid.attach(0x90, AttachedModel::Float(m2));

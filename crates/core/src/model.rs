@@ -25,7 +25,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 /// One feature-extraction slice.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Slice {
     cfg: SliceConfig,
     /// Big: the (PC,dir)-vocabulary embedding. Mini: the hashed
@@ -53,8 +53,11 @@ impl Slice {
     }
 }
 
-/// A trainable BranchNet model for one static branch.
-#[derive(Debug)]
+/// A trainable BranchNet model for one static branch. Cloning copies
+/// the frozen weights, so one trained model can be evaluated from
+/// several threads at once (each clone carries its own forward
+/// scratch state).
+#[derive(Debug, Clone)]
 pub struct BranchNetModel {
     config: BranchNetConfig,
     slices: Vec<Slice>,
@@ -85,7 +88,12 @@ impl BranchNetModel {
             let (embedding, conv) = match config.conv_hash_bits {
                 None => (
                     Embedding::new(config.vocab(), config.embedding_dim, sseed),
-                    Some(Conv1d::new(config.embedding_dim, s.channels, config.conv_width, sseed ^ 0x55)),
+                    Some(Conv1d::new(
+                        config.embedding_dim,
+                        s.channels,
+                        config.conv_width,
+                        sseed ^ 0x55,
+                    )),
                 ),
                 Some(h) => (Embedding::new(1 << h, s.channels, sseed), None),
             };
@@ -479,10 +487,7 @@ mod tests {
                 m.zero_grad();
             }
         }
-        let correct = data
-            .iter()
-            .filter(|(w, l)| m.predict(w) == (*l >= 0.5))
-            .count();
+        let correct = data.iter().filter(|(w, l)| m.predict(w) == (*l >= 0.5)).count();
         let acc = correct as f64 / data.len() as f64;
         assert!(acc > 0.9, "counting-rule accuracy only {acc}");
     }

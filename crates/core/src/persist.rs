@@ -110,7 +110,7 @@ impl<W: Write> Enc<W> {
                 byte = 0;
             }
         }
-        if v.len() % 8 != 0 {
+        if !v.len().is_multiple_of(8) {
             self.u8(byte)?;
         }
         Ok(())
@@ -302,9 +302,10 @@ pub fn read_model<R: Read>(r: R) -> Result<(u64, QuantizedMini), ReadModelError>
     let mut bn2 = Vec::with_capacity(n_slices);
     for s in &config.slices {
         let table = d.i8s()?;
-        let expected = s.channels << config.conv_hash_bits.ok_or(ReadModelError::Corrupt(
-            "model files require hashed configs",
-        ))?;
+        let expected = s.channels
+            << config
+                .conv_hash_bits
+                .ok_or(ReadModelError::Corrupt("model files require hashed configs"))?;
         if table.len() != expected {
             return Err(ReadModelError::Corrupt("sign table size mismatch"));
         }
@@ -384,8 +385,7 @@ mod tests {
             })
             .collect();
         let ds = BranchDataset { pc: 9, max_history: cfg.window_len(), examples };
-        let (m, _) =
-            train_model(&cfg, &ds, &TrainOptions { epochs: 2, ..Default::default() });
+        let (m, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 2, ..Default::default() });
         QuantizedMini::from_model(&m)
     }
 

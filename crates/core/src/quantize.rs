@@ -88,6 +88,12 @@ impl QuantizedMini {
     #[must_use]
     pub fn from_model(model: &BranchNetModel) -> Self {
         let config = model.config().clone();
+        assert!(
+            config.is_hashed(),
+            "quantization requires a hashed convolution (conv_hash_bits = Some): \
+             config '{}' uses a float convolution and cannot be lowered",
+            config.name
+        );
         let q = config.fc_quant_bits.expect("quantization requires fc_quant_bits");
         assert_eq!(config.hidden.len(), 1, "Mini models have one hidden FC layer");
         let parts = model.mini_parts();
@@ -107,7 +113,12 @@ impl QuantizedMini {
                     sign_table[id * c + ch] = if normed >= 0.0 { 1 } else { -1 };
                 }
             }
-            slices.push(QuantSlice { cfg: sp.cfg, sign_table, bn2_scale: scale2, bn2_shift: shift2 });
+            slices.push(QuantSlice {
+                cfg: sp.cfg,
+                sign_table,
+                bn2_scale: scale2,
+                bn2_shift: shift2,
+            });
         }
 
         let (fc1, bn3) = parts.hidden[0];
@@ -458,6 +469,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "quantization requires a hashed convolution")]
+    fn from_model_rejects_non_hashed_configs() {
+        // A float-convolution (Big-style) model has no hashed tables
+        // for the streaming datapath; lowering it must fail loudly at
+        // construction instead of deep inside the first prediction.
+        let mut cfg = tiny_config();
+        cfg.conv_hash_bits = None;
+        cfg.embedding_dim = 4;
+        let ds = counting_dataset(60);
+        let (model, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 1, ..Default::default() });
+        let _ = QuantizedMini::from_model(&model);
+    }
+
+    #[test]
     fn quantization_ladder_degrades_gracefully() {
         let (mut model, ds) = trained();
         let float_acc = evaluate_accuracy(&mut model, &ds);
@@ -526,8 +551,7 @@ mod tests {
         let mut cfg = tiny_config();
         cfg.fc_quant_bits = Some(2);
         let ds = counting_dataset(200);
-        let (model, _) =
-            train_model(&cfg, &ds, &TrainOptions { epochs: 5, ..Default::default() });
+        let (model, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 5, ..Default::default() });
         let quant = QuantizedMini::from_model(&model);
         assert!(quant.fc1_wq.iter().all(|&w| (-1..=1).contains(&w)));
     }

@@ -109,7 +109,14 @@ pub fn train_candidates(
                 let train_traces = &traces.train;
                 let valid_traces = &traces.valid;
                 let cfg = config.clone();
-                let topts = opts.train;
+                // Deterministic per-candidate seeding: each branch's
+                // training stream is a pure function of (base seed,
+                // pc), so neither thread scheduling nor the number of
+                // worker threads can perturb any result. The odd
+                // multiplier (golden-ratio constant) decorrelates
+                // nearby PCs.
+                let mut topts = opts.train;
+                topts.seed = opts.train.seed ^ pc.wrapping_mul(0x9E37_79B9_7F4A_7C15);
                 let min_occ = opts.min_occurrences;
                 let margin = opts.selection_margin;
                 scope.spawn(move || {
@@ -234,10 +241,8 @@ mod tests {
     #[test]
     fn knapsack_prefers_high_value_per_byte() {
         // Two branches, budget fits only one large or two small.
-        let items = vec![
-            item(1, &[(2048, 100.0), (1024, 90.0)]),
-            item(2, &[(2048, 100.0), (1024, 90.0)]),
-        ];
+        let items =
+            vec![item(1, &[(2048, 100.0), (1024, 90.0)]), item(2, &[(2048, 100.0), (1024, 90.0)])];
         let picks = assign_budget(&items, 2048);
         // Two 1KB models (180) beat one 2KB model (100).
         assert_eq!(picks, vec![Some(1), Some(1)]);
@@ -245,7 +250,8 @@ mod tests {
 
     #[test]
     fn knapsack_respects_budget() {
-        let items = vec![item(1, &[(2048, 10.0)]), item(2, &[(2048, 9.0)]), item(3, &[(2048, 8.0)])];
+        let items =
+            vec![item(1, &[(2048, 10.0)]), item(2, &[(2048, 9.0)]), item(3, &[(2048, 8.0)])];
         let picks = assign_budget(&items, 4096);
         let taken = picks.iter().filter(|p| p.is_some()).count();
         assert_eq!(taken, 2, "only two 2KB models fit in 4KB");

@@ -95,11 +95,7 @@ pub fn storage_breakdown(config: &BranchNetConfig) -> StorageBreakdown {
     let lut = 1u64 << hidden.min(20);
     // Deeper hidden stacks (not used by Mini presets) are costed as
     // dense q-bit weights.
-    let extra: u64 = config
-        .hidden
-        .windows(2)
-        .map(|w| q * (w[0] * w[1]) as u64)
-        .sum();
+    let extra: u64 = config.hidden.windows(2).map(|w| q * (w[0] * w[1]) as u64).sum();
 
     StorageBreakdown {
         conv_tables_bits,

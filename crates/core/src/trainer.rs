@@ -82,9 +82,23 @@ pub fn train_model(
     let mut order: Vec<usize> = (0..ds.len()).collect();
     let mut final_loss = f32::NAN;
     let mut epochs_run = 0;
+    // Best inference-exact model seen so far, selected by binarized
+    // eval-mode accuracy. Binarized fine-tuning is oscillatory (sign
+    // flips are discrete events, so loss does not descend monotonically
+    // and can diverge late), and train-mode loss can disagree with
+    // eval-mode behavior while batch-norm running statistics settle;
+    // snapshotting the best epoch under inference semantics makes the
+    // returned model robust to where training happens to stop.
+    let mut best: Option<(f64, f32, BranchNetModel)> = None;
     for epoch in 0..opts.epochs {
-        if config.is_hashed() && epoch == qat_switch {
+        if config.is_hashed() && epoch == qat_switch && qat_switch > 0 {
             model.set_conv_binarize(true);
+            // Binarization is a discontinuity: the pooled features jump
+            // from tanh-scaled values to ±1 sums, so fine-tuning at the
+            // warm-up learning rate thrashes (sign flips dominate the
+            // Adam updates and the warm-up fit never re-converges).
+            // Fine-tune the binarized phase at a tenth of the rate.
+            opt.set_lr(opts.lr * 0.1);
         }
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
@@ -103,15 +117,31 @@ pub fn train_model(
         }
         final_loss = (epoch_loss / batches.max(1) as f64) as f32;
         epochs_run = epoch + 1;
+        // Score this epoch under inference semantics (binarized conv,
+        // eval-mode batch norm) — the exact datapath callers will run.
+        let warm = config.is_hashed() && epoch < qat_switch;
+        if warm {
+            model.set_conv_binarize(true);
+        }
+        let epoch_acc = evaluate_accuracy(&mut model, &ds);
+        if warm {
+            model.set_conv_binarize(false);
+        }
+        if best.as_ref().is_none_or(|(a, _, _)| epoch_acc > *a) {
+            best = Some((epoch_acc, final_loss, model.clone()));
+        }
         // Early stop on a converged fit — only once the binarized
         // (inference-exact) phase is active.
         if final_loss < 0.01 && epoch >= qat_switch {
             break;
         }
     }
+    let (acc, best_loss, mut model) = best.unwrap_or_else(|| {
+        let a = evaluate_accuracy(&mut model, &ds);
+        (a, final_loss, model)
+    });
     model.set_conv_binarize(true);
-    let acc = evaluate_accuracy(&mut model, &ds);
-    (model, TrainReport { final_loss, train_accuracy: acc, epochs_run })
+    (model, TrainReport { final_loss: best_loss, train_accuracy: acc, epochs_run })
 }
 
 /// Accuracy of `model` on every example of `dataset` (eval mode).
@@ -143,7 +173,12 @@ mod tests {
     fn tiny_config() -> BranchNetConfig {
         BranchNetConfig {
             name: "t".into(),
-            slices: vec![SliceConfig { history: 12, channels: 3, pool_width: 12, precise_pooling: true }],
+            slices: vec![SliceConfig {
+                history: 12,
+                channels: 3,
+                pool_width: 12,
+                precise_pooling: true,
+            }],
             pc_bits: 4,
             conv_hash_bits: Some(5),
             embedding_dim: 0,

@@ -31,17 +31,15 @@ fn quick_quant(precise2: bool) -> QuantizedMini {
     let mut examples = Vec::new();
     let cfg = tiny_config(precise2);
     for i in 0..80u32 {
-        let window: Vec<u32> = (0..cfg.window_len() as u32).map(|j| (i * 13 + j * 5) % 64).collect();
+        let window: Vec<u32> =
+            (0..cfg.window_len() as u32).map(|j| (i * 13 + j * 5) % 64).collect();
         examples.push(branchnet_core::dataset::Example {
             window,
             label: f32::from(u8::from(i % 3 == 0)),
         });
     }
-    let ds = branchnet_core::dataset::BranchDataset {
-        pc: 1,
-        max_history: cfg.window_len(),
-        examples,
-    };
+    let ds =
+        branchnet_core::dataset::BranchDataset { pc: 1, max_history: cfg.window_len(), examples };
     let (model, _) =
         train_model(&cfg, &ds, &TrainOptions { epochs: 2, max_examples: 80, ..Default::default() });
     QuantizedMini::from_model(&model)
@@ -78,6 +76,56 @@ proptest! {
         }
         flushed.restore(&ckpt);
         for &e in &stream[split..] {
+            flushed.update(e);
+        }
+        prop_assert_eq!(straight.checkpoint(), flushed.checkpoint());
+        prop_assert_eq!(straight.predict(), flushed.predict());
+    }
+
+    /// Generalizes the recovery invariant to *multiple* flush cycles:
+    /// any number of checkpoint → wrong-path → restore episodes at
+    /// randomized points, each with its own wrong-path burst, must
+    /// leave the engine indistinguishable from a straight run — for
+    /// all-precise and mixed precise/sliding slice configs alike.
+    /// (Real pipelines flush repeatedly per trace, so single-flush
+    /// coverage is not enough; a stale partial-sum or phase counter
+    /// that survives one restore can compound across several.)
+    #[test]
+    fn engine_multi_flush_recovery_equals_straight_run(
+        stream in prop::collection::vec(0u32..64, 8..140),
+        flushes in prop::collection::vec(
+            (0.05f64..0.95, prop::collection::vec(0u32..64, 1..20)),
+            1..4,
+        ),
+        precise2 in any::<bool>(),
+    ) {
+        let quant = quick_quant(precise2);
+
+        let mut straight = InferenceEngine::new(quant.clone());
+        for &e in &stream {
+            straight.update(e);
+        }
+
+        // Flush points, in stream order (duplicates model two flushes
+        // at the same retirement point).
+        let mut splits: Vec<usize> =
+            flushes.iter().map(|(f, _)| ((stream.len() as f64) * f) as usize).collect();
+        splits.sort_unstable();
+
+        let mut flushed = InferenceEngine::new(quant);
+        let mut pos = 0usize;
+        for ((_, wrong), &split) in flushes.iter().zip(&splits) {
+            for &e in &stream[pos..split] {
+                flushed.update(e);
+            }
+            pos = split;
+            let ckpt = flushed.checkpoint();
+            for &e in wrong {
+                flushed.update(e); // wrong path
+            }
+            flushed.restore(&ckpt);
+        }
+        for &e in &stream[pos..] {
             flushed.update(e);
         }
         prop_assert_eq!(straight.checkpoint(), flushed.checkpoint());

@@ -107,14 +107,14 @@ impl Conv1d {
             let bg = self.bgrad.data_mut();
             let gi = gin.data_mut();
             for b in 0..batch {
-                for c in 0..self.out_channels {
+                for (c, bgc) in bg.iter_mut().enumerate() {
                     let obase = (b * self.out_channels + c) * seq;
                     for s in 0..seq {
                         let g = go[obase + s];
                         if g == 0.0 {
                             continue;
                         }
-                        bg[c] += g;
+                        *bgc += g;
                         for e in 0..cin {
                             let wbase = (c * cin + e) * self.k;
                             let xbase = (b * cin + e) * seq;
@@ -179,7 +179,8 @@ mod tests {
     #[test]
     fn gradients_match_finite_differences() {
         let mut conv = Conv1d::new(2, 3, 3, 7);
-        let x = Tensor::from_vec((0..2 * 2 * 5).map(|i| (i as f32 * 0.37).sin()).collect(), &[2, 2, 5]);
+        let x =
+            Tensor::from_vec((0..2 * 2 * 5).map(|i| (i as f32 * 0.37).sin()).collect(), &[2, 2, 5]);
         // Scalar objective: sum of outputs squared / 2.
         let y = conv.forward(&x);
         let grad_out = y.clone();

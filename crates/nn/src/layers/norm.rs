@@ -154,8 +154,7 @@ impl BatchNorm1d {
             for b in 0..batch {
                 for s in 0..seq {
                     let idx = (b * self.channels + c) * seq + s;
-                    gin.data_mut()[idx] =
-                        g * istd * (go[idx] - sum_g / n - xh[idx] * sum_gx / n);
+                    gin.data_mut()[idx] = g * istd * (go[idx] - sum_g / n - xh[idx] * sum_gx / n);
                 }
             }
         }
@@ -206,7 +205,10 @@ mod tests {
     #[test]
     fn train_mode_standardizes_each_channel() {
         let mut bn = BatchNorm1d::new(2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 5.0, 6.0, 7.0, 40.0, 50.0, 60.0], &[2, 2, 3]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0, 5.0, 6.0, 7.0, 40.0, 50.0, 60.0],
+            &[2, 2, 3],
+        );
         let y = bn.forward(&x, true);
         // Each channel of y should have ~zero mean, ~unit variance.
         for c in 0..2 {

@@ -31,14 +31,12 @@ pub fn bce_with_logits(logits: &Tensor, labels: &[f32]) -> (f32, Tensor) {
     assert_eq!(labels.len(), batch, "one label per logit required");
     let mut grad = Tensor::zeros(logits.shape());
     let mut loss = 0.0f64;
-    for i in 0..batch {
-        let z = logits.data()[i];
-        let y = labels[i];
+    for ((g, &z), &y) in grad.data_mut().iter_mut().zip(logits.data()).zip(labels) {
         debug_assert!((0.0..=1.0).contains(&y), "labels must be probabilities");
         // log(1 + e^-|z|) + max(z, 0) - z*y  (stable form)
         loss += f64::from(z.max(0.0) - z * y) + f64::from((-z.abs()).exp()).ln_1p();
         let p = 1.0 / (1.0 + (-z).exp());
-        grad.data_mut()[i] = (p - y) / batch as f32;
+        *g = (p - y) / batch as f32;
     }
     ((loss / batch as f64) as f32, grad)
 }
@@ -54,12 +52,8 @@ pub fn logit_accuracy(logits: &Tensor, labels: &[f32]) -> f64 {
     if labels.is_empty() {
         return 1.0;
     }
-    let correct = logits
-        .data()
-        .iter()
-        .zip(labels)
-        .filter(|(z, y)| (**z >= 0.0) == (**y >= 0.5))
-        .count();
+    let correct =
+        logits.data().iter().zip(labels).filter(|(z, y)| (**z >= 0.0) == (**y >= 0.5)).count();
     correct as f64 / labels.len() as f64
 }
 

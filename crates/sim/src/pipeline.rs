@@ -110,8 +110,7 @@ pub fn simulate(trace: &Trace, late: &mut dyn DirectionSource, config: &CpuConfi
             // to resolve. Memory-dependent branches (chosen
             // deterministically by PC/occurrence hash) resolve late.
             let slow = is_memory_dependent(record.pc, branches, config.memory_branch_per_mille);
-            let resolve =
-                if slow { config.memory_resolve_delay } else { config.resolve_delay };
+            let resolve = if slow { config.memory_resolve_delay } else { config.resolve_delay };
             penalty_cycles += config.frontend_stages + resolve;
             mispredictions += 1;
         } else if early_pred != late_pred {
@@ -141,7 +140,8 @@ pub fn simulate_with_oracle(trace: &Trace, config: &CpuConfig) -> SimResult {
 
 /// Deterministic pseudo-random tagging of memory-dependent branches.
 fn is_memory_dependent(pc: u64, occurrence: u64, per_mille: u32) -> bool {
-    let h = (pc ^ occurrence.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let h =
+        (pc ^ occurrence.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     (h >> 33) % 1000 < u64::from(per_mille)
 }
 
@@ -207,8 +207,7 @@ mod tests {
     #[test]
     fn resteers_cost_less_than_flushes() {
         let trace = loopy_trace(10_000);
-        let mut cfg = CpuConfig::default();
-        cfg.memory_branch_per_mille = 0;
+        let cfg = CpuConfig { memory_branch_per_mille: 0, ..Default::default() };
         let mut bad = AlwaysTaken;
         let r = simulate(&trace, &mut bad, &cfg);
         // Every 8th branch mispredicts: check penalty accounting.
@@ -224,10 +223,7 @@ mod tests {
             if is_memory_dependent(0x1234, i, 30) {
                 hits += 1;
             }
-            assert_eq!(
-                is_memory_dependent(0x1234, i, 30),
-                is_memory_dependent(0x1234, i, 30)
-            );
+            assert_eq!(is_memory_dependent(0x1234, i, 30), is_memory_dependent(0x1234, i, 30));
         }
         let rate = hits as f64 / 10_000.0;
         assert!((rate - 0.03).abs() < 0.01, "rate {rate}");

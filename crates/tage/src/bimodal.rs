@@ -92,8 +92,7 @@ mod tests {
     fn loop_exit_mispredicts_once_per_iteration_set() {
         // 10-iteration loop: 2-bit counter mispredicts the single
         // not-taken exit each time but stays taken-biased.
-        let trace: Trace =
-            (0..200).map(|i| BranchRecord::conditional(0x40, i % 10 != 9)).collect();
+        let trace: Trace = (0..200).map(|i| BranchRecord::conditional(0x40, i % 10 != 9)).collect();
         let stats = evaluate(&mut Bimodal::new(10, 2), &trace);
         assert!(stats.accuracy() >= 0.89 && stats.accuracy() <= 0.91);
     }

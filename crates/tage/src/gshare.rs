@@ -75,8 +75,7 @@ mod tests {
     /// gshare learns short-period patterns that bimodal cannot.
     #[test]
     fn beats_bimodal_on_alternating_branch() {
-        let trace: Trace =
-            (0..400).map(|i| BranchRecord::conditional(0x40, i % 2 == 0)).collect();
+        let trace: Trace = (0..400).map(|i| BranchRecord::conditional(0x40, i % 2 == 0)).collect();
         let gshare = evaluate(&mut Gshare::new(12, 8), &trace);
         let bimodal = evaluate(&mut Bimodal::new(12, 2), &trace);
         assert!(gshare.accuracy() > 0.95);
@@ -85,8 +84,7 @@ mod tests {
 
     #[test]
     fn learns_short_loop_exits() {
-        let trace: Trace =
-            (0..1000).map(|i| BranchRecord::conditional(0x40, i % 5 != 4)).collect();
+        let trace: Trace = (0..1000).map(|i| BranchRecord::conditional(0x40, i % 5 != 4)).collect();
         let stats = evaluate(&mut Gshare::new(12, 10), &trace);
         assert!(stats.accuracy() > 0.95, "accuracy {}", stats.accuracy());
     }

@@ -108,9 +108,7 @@ impl LoopPredictor {
                     if e.confidence < confidence_max {
                         e.confidence += 1;
                     }
-                    if e.age < u8::MAX {
-                        e.age += 1;
-                    }
+                    e.age = e.age.saturating_add(1);
                 } else {
                     if e.past_iter != 0 {
                         e.confidence = 0;

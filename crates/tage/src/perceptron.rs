@@ -73,9 +73,8 @@ impl Predictor for Perceptron {
         let t = if record.taken { 1i32 } else { -1 };
         if predicted != record.taken || self.last_sum.abs() <= self.threshold {
             let row = self.row(record.pc);
-            let bits: Vec<i32> = (0..self.history_bits)
-                .map(|i| if self.history.bit(i) { 1 } else { -1 })
-                .collect();
+            let bits: Vec<i32> =
+                (0..self.history_bits).map(|i| if self.history.bit(i) { 1 } else { -1 }).collect();
             let w0 = self.clamp(i32::from(self.weights[row][0]) + t);
             self.weights[row][0] = w0;
             for (i, x) in bits.iter().enumerate() {
@@ -164,7 +163,6 @@ impl HashedPerceptron {
             .map(|(t, &len)| i32::from(t[self.hash(pc, len)]))
             .sum()
     }
-
 }
 
 impl Predictor for HashedPerceptron {
@@ -208,8 +206,7 @@ impl Predictor for HashedPerceptron {
     }
 
     fn storage_bits(&self) -> u64 {
-        self.tables.iter().map(|t| t.len() as u64 * 8).sum::<u64>()
-            + self.history.capacity() as u64
+        self.tables.iter().map(|t| t.len() as u64 * 8).sum::<u64>() + self.history.capacity() as u64
     }
 }
 
@@ -225,7 +222,7 @@ mod tests {
         let mut seed = 99u64;
         let mut rng = move || {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (seed >> 33) % 2 == 0
+            (seed >> 33).is_multiple_of(2)
         };
         let mut trace = Trace::new();
         let mut keys = std::collections::VecDeque::new();

@@ -119,7 +119,8 @@ impl StatisticalCorrector {
     }
 
     fn mix(pc: u64, salt: u64, data: u64) -> u64 {
-        let mut h = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let mut h = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ salt.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
         h ^= data.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         h ^= h >> 29;
         h
@@ -145,7 +146,10 @@ impl StatisticalCorrector {
             let local = self.local_histories[self.local_row(pc)];
             let lmask = (1u64 << self.config.local_bits) - 1;
             out.push((t, self.table_index(t, pc, local & lmask)));
-            out.push((t + 1, self.table_index(t + 1, pc, (local & lmask) >> (self.config.local_bits / 2))));
+            out.push((
+                t + 1,
+                self.table_index(t + 1, pc, (local & lmask) >> (self.config.local_bits / 2)),
+            ));
             t += 2;
         }
         if self.config.enable_imli {
@@ -215,13 +219,11 @@ impl StatisticalCorrector {
         }
         // IMLI: count consecutive taken backward branches (loop
         // iterations of the innermost loop).
-        if self.config.enable_imli {
-            if record.target < record.pc {
-                if taken {
-                    self.imli_count = self.imli_count.saturating_add(1);
-                } else {
-                    self.imli_count = 0;
-                }
+        if self.config.enable_imli && record.target < record.pc {
+            if taken {
+                self.imli_count = self.imli_count.saturating_add(1);
+            } else {
+                self.imli_count = 0;
             }
         }
     }
@@ -271,9 +273,8 @@ mod tests {
             seed ^= seed << 17;
             seed % 100
         };
-        let trace: Trace = (0..8000)
-            .map(|_| BranchRecord::conditional(0x500, rng() < 75))
-            .collect();
+        let trace: Trace =
+            (0..8000).map(|_| BranchRecord::conditional(0x500, rng() < 75)).collect();
 
         // TAGE alone.
         let mut tage_alone = tiny_tage();

@@ -210,9 +210,7 @@ impl Tage {
         let folded_tag = [
             (0..n).map(|i| FoldedHistory::new(hist_lens[i], config.tag_bits[i] as usize)).collect(),
             (0..n)
-                .map(|i| {
-                    FoldedHistory::new(hist_lens[i], (config.tag_bits[i] as usize - 1).max(1))
-                })
+                .map(|i| FoldedHistory::new(hist_lens[i], (config.tag_bits[i] as usize - 1).max(1)))
                 .collect(),
         ];
         Self {
@@ -247,7 +245,9 @@ impl Tage {
 
     fn tag(&self, pc: u64, table: usize) -> u16 {
         let bits = self.config.tag_bits[table];
-        let v = (pc >> 2) ^ self.folded_tag[0][table].value() ^ (self.folded_tag[1][table].value() << 1);
+        let v = (pc >> 2)
+            ^ self.folded_tag[0][table].value()
+            ^ (self.folded_tag[1][table].value() << 1);
         (v & ((1u64 << bits) - 1)) as u16
     }
 
@@ -302,7 +302,16 @@ impl Tage {
         // counter decides whether to trust the alternate instead.
         let use_alt = provider.is_some() && weak && self.use_alt_on_weak.is_taken();
         let taken = if use_alt { alt_taken } else { provider_taken };
-        TagePrediction { taken, provider_taken, alt_taken, provider, provider_ctr, weak, indices, tags }
+        TagePrediction {
+            taken,
+            provider_taken,
+            alt_taken,
+            provider,
+            provider_ctr,
+            weak,
+            indices,
+            tags,
+        }
     }
 
     /// Trains TAGE on a resolved branch given the lookup it predicted
@@ -323,7 +332,7 @@ impl Tage {
                 if span > 1 {
                     let r = self.lfsr_next() as usize;
                     // Bias toward the shortest eligible table.
-                    offset = if r % 4 == 0 {
+                    offset = if r.is_multiple_of(4) {
                         1.min(span - 1)
                     } else if r % 16 == 1 {
                         2.min(span - 1)
@@ -388,7 +397,7 @@ impl Tage {
 
         // --- periodic useful aging ---
         self.updates += 1;
-        if self.updates % self.config.reset_period == 0 {
+        if self.updates.is_multiple_of(self.config.reset_period) {
             self.aging_flip = !self.aging_flip;
             for table in &mut self.tables {
                 for e in table.iter_mut() {
@@ -412,7 +421,8 @@ impl Tage {
         let n = self.config.num_tables();
         for t in 0..n {
             let len = self.hist_lens[t];
-            let outgoing = if self.history.len() >= len { self.history.bit(len - 1) } else { false };
+            let outgoing =
+                if self.history.len() >= len { self.history.bit(len - 1) } else { false };
             self.folded_index[t].update(taken, outgoing);
             self.folded_tag[0][t].update(taken, outgoing);
             self.folded_tag[1][t].update(taken, outgoing);
@@ -437,8 +447,9 @@ impl Tage {
     pub fn storage_bits_internal(&self) -> u64 {
         let mut bits = self.base.storage_bits();
         for (t, table) in self.tables.iter().enumerate() {
-            let entry_bits =
-                u64::from(self.config.tag_bits[t] + self.config.counter_bits + self.config.useful_bits);
+            let entry_bits = u64::from(
+                self.config.tag_bits[t] + self.config.counter_bits + self.config.useful_bits,
+            );
             bits += table.len() as u64 * entry_bits;
         }
         bits + self.config.max_history as u64 + 4 + 16
@@ -554,7 +565,7 @@ mod tests {
         let mut seed = 7u64;
         let mut rng = move || {
             seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (seed >> 40) % 2 == 0
+            (seed >> 40).is_multiple_of(2)
         };
         let mut trace = Trace::new();
         for _ in 0..6000 {

@@ -124,7 +124,8 @@ impl PathHistory {
 
     /// Shifts in the low bits of `pc`.
     pub fn push(&mut self, pc: u64) {
-        self.value = (self.value << Self::BITS_PER_BRANCH) | (pc & ((1 << Self::BITS_PER_BRANCH) - 1));
+        self.value =
+            (self.value << Self::BITS_PER_BRANCH) | (pc & ((1 << Self::BITS_PER_BRANCH) - 1));
     }
 
     /// The newest `n` path bits (n ≤ 64).
@@ -199,7 +200,11 @@ impl FoldedHistory {
     /// Recomputes the fold from scratch over a [`GlobalHistory`]; used
     /// for testing the incremental update.
     #[must_use]
-    pub fn fold_from_history(history: &GlobalHistory, original_len: usize, compressed_len: usize) -> u64 {
+    pub fn fold_from_history(
+        history: &GlobalHistory,
+        original_len: usize,
+        compressed_len: usize,
+    ) -> u64 {
         // Reconstruct by replaying the incremental update over the
         // recorded history, oldest first. This mirrors exactly what a
         // predictor performing `update` on every branch would hold.
@@ -306,10 +311,10 @@ mod tests {
         for b in [true, false, true, true] {
             h.push(b);
         }
-        assert_eq!(h.bit(0), true);
-        assert_eq!(h.bit(1), true);
-        assert_eq!(h.bit(2), false);
-        assert_eq!(h.bit(3), true);
+        assert!(h.bit(0));
+        assert!(h.bit(1));
+        assert!(!h.bit(2));
+        assert!(h.bit(3));
     }
 
     #[test]
@@ -319,9 +324,9 @@ mod tests {
         h.push(false);
         h.push(false);
         assert_eq!(h.len(), 2);
-        assert_eq!(h.bit(0), false);
-        assert_eq!(h.bit(1), false);
-        assert_eq!(h.bit(2), false, "evicted bits read as not-taken");
+        assert!(!h.bit(0));
+        assert!(!h.bit(1));
+        assert!(!h.bit(2), "evicted bits read as not-taken");
     }
 
     #[test]

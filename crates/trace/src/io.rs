@@ -136,8 +136,7 @@ pub fn write_trace<W: Write>(mut w: W, trace: &Trace) -> io::Result<()> {
     for r in trace {
         // header byte: kind (3 bits) | taken (1) | gap==4 default (1)
         let default_gap = r.inst_gap == 4;
-        let header =
-            kind_code(r.kind) | (u8::from(r.taken) << 3) | (u8::from(default_gap) << 4);
+        let header = kind_code(r.kind) | (u8::from(r.taken) << 3) | (u8::from(default_gap) << 4);
         w.write_all(&[header])?;
         write_varint(&mut w, zigzag(r.pc as i64 - prev_pc as i64))?;
         write_varint(&mut w, zigzag(r.target as i64 - r.pc as i64))?;
@@ -175,8 +174,7 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
     r.read_exact(&mut label_len)?;
     let mut label = vec![0u8; usize::from(u16::from_le_bytes(label_len))];
     r.read_exact(&mut label)?;
-    let label =
-        String::from_utf8(label).map_err(|_| ReadTraceError::Corrupt("label not utf-8"))?;
+    let label = String::from_utf8(label).map_err(|_| ReadTraceError::Corrupt("label not utf-8"))?;
     let count = read_varint(&mut r)?;
     if count > 1 << 40 {
         return Err(ReadTraceError::Corrupt("implausible record count"));
@@ -257,12 +255,7 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&mut buf, &t).unwrap();
         let naive = t.len() * std::mem::size_of::<BranchRecord>();
-        assert!(
-            buf.len() * 3 < naive,
-            "packed {} bytes vs naive {} bytes",
-            buf.len(),
-            naive
-        );
+        assert!(buf.len() * 3 < naive, "packed {} bytes vs naive {} bytes", buf.len(), naive);
     }
 
     #[test]

@@ -229,6 +229,48 @@ mod tests {
     }
 
     #[test]
+    fn merge_weighted_zero_instruction_stats_stay_finite() {
+        // A trace can contain zero conditional branches (and even zero
+        // instructions); merging such stats at any weight must leave
+        // the aggregate's derived metrics finite and unchanged.
+        let empty = PredictionStats::new();
+        let mut agg = PredictionStats::new();
+        agg.merge_weighted(&empty, 7.5);
+        assert_eq!(agg, PredictionStats::new());
+        assert_eq!(agg.mpki(), 0.0);
+        assert!((agg.accuracy() - 1.0).abs() < f64::EPSILON);
+
+        // And in the other direction: real stats merged into an empty
+        // aggregate with weight 0.0 contribute nothing.
+        let mut real = PredictionStats::new();
+        real.record(false, 99);
+        agg.merge_weighted(&real, 0.0);
+        assert_eq!(agg, PredictionStats::new());
+        assert_eq!(agg.mpki(), 0.0);
+    }
+
+    #[test]
+    fn merge_weighted_accumulates_mixed_weights() {
+        // SimPoint-style aggregation: two traces with different
+        // weights; MPKI of the aggregate is the weighted-misprediction
+        // over weighted-instruction ratio, not a mean of per-trace
+        // MPKIs.
+        let mut t1 = PredictionStats::new();
+        t1.record(false, 99); // 1 mispredict / 100 insts
+        let mut t2 = PredictionStats::new();
+        t2.record(true, 399); // 0 mispredicts / 400 insts
+
+        let mut agg = PredictionStats::new();
+        agg.merge_weighted(&t1, 2.0);
+        agg.merge_weighted(&t2, 1.0);
+        assert!((agg.predictions() - 3.0).abs() < f64::EPSILON);
+        assert!((agg.mispredictions() - 2.0).abs() < f64::EPSILON);
+        assert!((agg.instructions() - 600.0).abs() < f64::EPSILON);
+        // 2 mispredicts per 600 insts = 10/3 MPKI.
+        assert!((agg.mpki() - 1000.0 * 2.0 / 600.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn ranking_orders_by_misprediction_count() {
         let mut bs = BranchStats::new();
         // pc 0x10: 3 mispredicts; pc 0x20: 1; pc 0x30: 0.

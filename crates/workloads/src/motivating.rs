@@ -169,10 +169,8 @@ mod tests {
         let mut b_taken_run = 0i64;
         for r in &t {
             match r.pc {
-                PC_A => {
-                    if !r.taken {
-                        x += 1;
-                    }
+                PC_A if !r.taken => {
+                    x += 1;
                 }
                 PC_B => {
                     if r.taken {

@@ -336,7 +336,7 @@ fn gen_xz(b: &mut TraceBuilder, input: &ProgramInput) {
             }
         }
         // Mode branch: biased but input-dependent.
-        b.branch(0x4108, b.len() % 7 != 0);
+        b.branch(0x4108, !b.len().is_multiple_of(7));
     }
 }
 
@@ -484,13 +484,8 @@ mod tests {
     #[test]
     fn partitions_are_mutually_exclusive() {
         let parts = SpecSuite::benchmark(Benchmark::Leela).inputs();
-        let mut seeds: Vec<u64> = parts
-            .train
-            .iter()
-            .chain(&parts.valid)
-            .chain(&parts.test)
-            .map(|i| i.seed)
-            .collect();
+        let mut seeds: Vec<u64> =
+            parts.train.iter().chain(&parts.valid).chain(&parts.test).map(|i| i.seed).collect();
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 8, "all 8 inputs must be distinct");
@@ -525,7 +520,10 @@ mod tests {
                 hard_min = hard_min.min(stats.mpki());
             } else if matches!(
                 w.benchmark(),
-                Benchmark::X264 | Benchmark::Exchange2 | Benchmark::Perlbench | Benchmark::Xalancbmk
+                Benchmark::X264
+                    | Benchmark::Exchange2
+                    | Benchmark::Perlbench
+                    | Benchmark::Xalancbmk
             ) {
                 easy_max = easy_max.max(stats.mpki());
             }

@@ -85,10 +85,7 @@ fn main() {
             "{alpha:>4.1}   {n_min:>2}..{n_max:<3}      {:>5.3}          {cnn_acc:>6.4}          {tage_acc:>6.4}",
             taken as f64 / total as f64
         );
-        assert!(
-            (cnn_acc - 1.0).abs() < 1e-12,
-            "the hand-built CNN must be exact (got {cnn_acc})"
-        );
+        assert!((cnn_acc - 1.0).abs() < 1e-12, "the hand-built CNN must be exact (got {cnn_acc})");
     }
     println!("\nThe two-filter CNN is perfect at every alpha and N range — with 20 noisy");
     println!("branches per iteration — because it counts only the correlated branches.");

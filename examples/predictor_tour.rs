@@ -18,26 +18,24 @@ fn main() {
     let input = &bench.inputs().test[0];
     let trace = bench.generate(input, 60_000);
     println!("workload: {} / {} ({} branches)\n", bench.name(), input.label, trace.len());
-    println!(
-        "{:<22} {:>9} {:>8} {:>10} {:>6}",
-        "predictor", "accuracy", "MPKI", "storage", "IPC"
-    );
+    println!("{:<22} {:>9} {:>8} {:>10} {:>6}", "predictor", "accuracy", "MPKI", "storage", "IPC");
 
     let cpu = CpuConfig::skylake_like();
-    let mut report = |name: &str, p: &mut dyn Predictor| {
+    let report = |name: &str, p: &mut dyn Predictor| {
         let stats = evaluate(p, &trace);
         let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
         (name.to_string(), stats.accuracy(), stats.mpki(), kb)
     };
 
-    let mut rows = Vec::new();
-    rows.push(report("bimodal (8KB)", &mut Bimodal::new(15, 2)));
-    rows.push(report("gshare (4KB)", &mut Gshare::new(14, 12)));
-    rows.push(report("2-level GAg (16b hist)", &mut TwoLevel::new(16, true)));
-    rows.push(report("perceptron", &mut Perceptron::new(10, 32)));
-    rows.push(report("hashed perceptron", &mut HashedPerceptron::default_config()));
-    rows.push(report("TAGE-SC-L 64KB", &mut TageScL::new(&TageSclConfig::tage_sc_l_64kb())));
-    rows.push(report("MTAGE-SC (unlimited)", &mut TageScL::new(&TageSclConfig::mtage_sc_unlimited())));
+    let rows = vec![
+        report("bimodal (8KB)", &mut Bimodal::new(15, 2)),
+        report("gshare (4KB)", &mut Gshare::new(14, 12)),
+        report("2-level GAg (16b hist)", &mut TwoLevel::new(16, true)),
+        report("perceptron", &mut Perceptron::new(10, 32)),
+        report("hashed perceptron", &mut HashedPerceptron::default_config()),
+        report("TAGE-SC-L 64KB", &mut TageScL::new(&TageSclConfig::tage_sc_l_64kb())),
+        report("MTAGE-SC (unlimited)", &mut TageScL::new(&TageSclConfig::mtage_sc_unlimited())),
+    ];
 
     // IPC needs a fresh predictor per run (cold start).
     let ipcs = vec![

@@ -56,7 +56,8 @@ fn main() {
     let mut hybrid2 = HybridPredictor::new(&baseline_cfg);
     hybrid2.attach(PC_B, {
         let ds2 = extract(&train_traces, PC_B, cfg.window_len(), cfg.pc_bits);
-        let (m2, _) = train_model(&cfg, &ds2, &TrainOptions { epochs: 15, lr: 0.02, ..Default::default() });
+        let (m2, _) =
+            train_model(&cfg, &ds2, &TrainOptions { epochs: 15, lr: 0.02, ..Default::default() });
         AttachedModel::Float(m2)
     });
     let hybrid_branch = evaluate_per_branch(&mut hybrid2, &test_trace);

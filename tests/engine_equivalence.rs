@@ -30,11 +30,8 @@ fn all_precise_config() -> BranchNetConfig {
 fn trained_quant(cfg: &BranchNetConfig) -> QuantizedMini {
     let traces = SpecSuite::benchmark(Benchmark::Leela).trace_set(15_000);
     let ds = extract(&traces.train, 0x1108, cfg.window_len(), cfg.pc_bits);
-    let (model, _) = train_model(
-        cfg,
-        &ds,
-        &TrainOptions { epochs: 4, max_examples: 800, ..Default::default() },
-    );
+    let (model, _) =
+        train_model(cfg, &ds, &TrainOptions { epochs: 4, max_examples: 800, ..Default::default() });
     QuantizedMini::from_model(&model)
 }
 
@@ -104,10 +101,7 @@ fn engine_storage_matches_table2_accounting() {
     let quant = trained_quant(&cfg);
     let engine = InferenceEngine::new(quant);
     let s = engine.storage();
-    assert_eq!(
-        s.total_bits(),
-        branchnet::core::storage::storage_breakdown(&cfg).total_bits()
-    );
+    assert_eq!(s.total_bits(), branchnet::core::storage::storage_breakdown(&cfg).total_bits());
     // The 0.5 KB preset must land near its label.
     assert!(s.total_kb() > 0.25 && s.total_kb() < 0.75, "{} KB", s.total_kb());
 }

@@ -25,12 +25,8 @@ fn offline_training_beats_baseline_on_unseen_inputs() {
     let traces = SpecSuite::benchmark(Benchmark::Xz).trace_set(25_000);
     let baseline_cfg = TageSclConfig::tage_sc_l_64kb();
 
-    let pack = offline_train(
-        &BranchNetConfig::big_scaled(),
-        &baseline_cfg,
-        &traces,
-        &pipeline_options(),
-    );
+    let pack =
+        offline_train(&BranchNetConfig::big_scaled(), &baseline_cfg, &traces, &pipeline_options());
     assert!(!pack.is_empty(), "xz must yield improvable branches");
     for (r, _) in &pack {
         assert!(r.mispredictions_avoided > 0.0, "selection keeps only improvements: {r:?}");
@@ -97,12 +93,8 @@ fn data_dependent_benchmark_yields_no_false_positives() {
     // data-dependent").
     let traces = SpecSuite::benchmark(Benchmark::Omnetpp).trace_set(25_000);
     let baseline_cfg = TageSclConfig::tage_sc_l_64kb();
-    let pack = offline_train(
-        &BranchNetConfig::big_scaled(),
-        &baseline_cfg,
-        &traces,
-        &pipeline_options(),
-    );
+    let pack =
+        offline_train(&BranchNetConfig::big_scaled(), &baseline_cfg, &traces, &pipeline_options());
     // Any model that survives must at least not hurt the test MPKI.
     let mut hybrid = HybridPredictor::new(&baseline_cfg);
     for (r, m) in pack {

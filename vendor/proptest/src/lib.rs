@@ -1,0 +1,302 @@
+//! Offline vendored mini-proptest.
+//!
+//! The build environment has no network access, so this crate
+//! reimplements the small proptest API surface the workspace's tests
+//! use: the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, and strategies for ranges,
+//! `any::<T>()`, tuples, `prop::collection::vec`, and
+//! `prop::sample::select`.
+//!
+//! Semantics versus real proptest:
+//!
+//! * cases are drawn from a deterministic seeded RNG (no persistence
+//!   files, no OS entropy) — every run tests the same cases;
+//! * there is **no shrinking**: a failure reports the exact drawn
+//!   inputs instead of a minimized case;
+//! * `prop_assume!` skips the case without drawing a replacement;
+//! * the default case count is 64 (real proptest: 256) — the figure
+//!   tests here train CNNs per case, so the lower default keeps test
+//!   time sane. Override per block with
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+
+use rand::rngs::SmallRng;
+
+pub mod collection;
+pub mod sample;
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+
+    /// Mirror of the `proptest::prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A recipe for generating random values of `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for core::ops::Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+/// The `any::<T>()` strategy: arbitrary values over `T`'s full domain.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Creates an [`Any`] strategy for `T`.
+#[must_use]
+pub fn any<T>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! any_impl {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut SmallRng) -> $ty {
+                rand::Rng::gen::<$ty>(rng)
+            }
+        }
+    )*};
+}
+
+any_impl!(bool, u32, u64, usize, f32, f64);
+
+impl Strategy for Any<u8> {
+    type Value = u8;
+    fn sample(&self, rng: &mut SmallRng) -> u8 {
+        rand::Rng::gen::<u32>(rng) as u8
+    }
+}
+
+impl Strategy for Any<u16> {
+    type Value = u16;
+    fn sample(&self, rng: &mut SmallRng) -> u16 {
+        rand::Rng::gen::<u32>(rng) as u16
+    }
+}
+
+impl Strategy for Any<i32> {
+    type Value = i32;
+    fn sample(&self, rng: &mut SmallRng) -> i32 {
+        rand::Rng::gen::<u32>(rng) as i32
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+    fn sample(&self, rng: &mut SmallRng) -> i64 {
+        rand::Rng::gen::<u64>(rng) as i64
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// The seeded generator a property block runs on. Exposed for the
+/// macro expansion only.
+#[doc(hidden)]
+#[must_use]
+pub fn runner_rng(test_name: &str) -> SmallRng {
+    // Stable per-test seed: tests draw distinct streams, reruns are
+    // identical.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    rand::SeedableRng::seed_from_u64(h)
+}
+
+/// Defines property tests. See crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let case_desc = format!(
+                        concat!("case {}/{}: ", $(stringify!($arg), " = {:?} ",)* ),
+                        case + 1, config.cases, $(&$arg),*
+                    );
+                    let run = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || { $body }
+                    ));
+                    if let Err(payload) = run {
+                        eprintln!("proptest failure in {}\n  {}", stringify!($name), case_desc);
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0.0f64..1.0, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in prop::collection::vec(any::<u64>(), 2..9),
+            w in prop::collection::vec(0u8..4, 5),
+        ) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert_eq!(w.len(), 5);
+            prop_assert!(w.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn select_draws_members(x in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!([2usize, 4, 8].contains(&x));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u32..10, any::<bool>())) {
+            prop_assume!(pair.1);
+            prop_assert!(pair.0 < 10);
+        }
+    }
+
+    #[test]
+    fn runner_rng_differs_per_test_name() {
+        use rand::RngCore;
+        let a = crate::runner_rng("a").next_u64();
+        let b = crate::runner_rng("b").next_u64();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::Strategy;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// Strategy drawing uniformly from an explicit list of options.
+///
+/// # Panics
+///
+/// Sampling panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// See [`select`].
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        self.options.choose(rng).expect("select requires at least one option").clone()
+    }
+}

@@ -1,0 +1,292 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache,
+//! so the workspace vendors the small API subset it actually uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ with SplitMix64 `seed_from_u64`,
+//!   the same algorithm `rand 0.8` uses on 64-bit targets, so seeded
+//!   streams are reproducible and statistically sound;
+//! * [`Rng::gen_range`] over integer and float ranges (Lemire
+//!   widening-multiply rejection for integers, matching rand 0.8);
+//! * [`Rng::gen_bool`] (Bernoulli via a 2^64 fixed-point threshold);
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates, high-to-low).
+//!
+//! Everything is deterministic given the seed; no OS entropy is ever
+//! consulted (there is deliberately no `thread_rng`).
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level generator interface: raw 32/64-bit output.
+pub trait RngCore {
+    /// Next raw 32 bits (the low half of [`RngCore::next_u64`], as in
+    /// `rand_xoshiro`).
+    fn next_u32(&mut self) -> u32;
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction. Only `seed_from_u64` is provided: all
+/// randomness in this workspace flows through explicit `u64` seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a `u64` seed via SplitMix64 expansion
+    /// (identical to `rand 0.8`'s `SmallRng::seed_from_u64`).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} outside [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        // Fixed-point threshold: p scaled by 2^64 (rand 0.8 Bernoulli).
+        let p_int = (p * (u64::MAX as f64 + 1.0)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable from raw generator output ("standard"
+/// distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 24 significant bits into [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 significant bits into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range a value can be drawn from uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Lemire's widening-multiply method over a 32-bit sample space.
+#[inline]
+fn lemire32<R: RngCore>(rng: &mut R, span: u32) -> u32 {
+    debug_assert!(span > 0);
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let m = u64::from(v) * u64::from(span);
+        if (m as u32) <= zone {
+            return (m >> 32) as u32;
+        }
+    }
+}
+
+/// Lemire's widening-multiply method over a 64-bit sample space.
+#[inline]
+fn lemire64<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = (span << span.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let m = u128::from(v) * u128::from(span);
+        if (m as u64) <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_range_impl {
+    ($ty:ty, $uty:ty, $lemire:ident, $raw:ident) => {
+        impl SampleRange for core::ops::Range<$ty> {
+            type Output = $ty;
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = self.end.wrapping_sub(self.start) as $uty;
+                self.start.wrapping_add($lemire(rng, span.into()) as $ty)
+            }
+        }
+
+        impl SampleRange for core::ops::RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample from empty range");
+                let span = (hi.wrapping_sub(lo) as $uty).wrapping_add(1);
+                if span == 0 {
+                    // Full domain: every raw draw is valid.
+                    return rng.$raw() as $ty;
+                }
+                lo.wrapping_add($lemire(rng, span.into()) as $ty)
+            }
+        }
+    };
+}
+
+int_range_impl!(u8, u8, lemire32, next_u32);
+int_range_impl!(u16, u16, lemire32, next_u32);
+int_range_impl!(u32, u32, lemire32, next_u32);
+int_range_impl!(i8, u8, lemire32, next_u32);
+int_range_impl!(i16, u16, lemire32, next_u32);
+int_range_impl!(i32, u32, lemire32, next_u32);
+int_range_impl!(u64, u64, lemire64, next_u64);
+int_range_impl!(i64, u64, lemire64, next_u64);
+int_range_impl!(usize, u64, lemire64, next_u64);
+int_range_impl!(isize, u64, lemire64, next_u64);
+
+macro_rules! float_range_impl {
+    ($ty:ty) => {
+        impl SampleRange for core::ops::Range<$ty> {
+            type Output = $ty;
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit: $ty = Standard::sample(rng);
+                let v = unit * (self.end - self.start) + self.start;
+                // Guard the open upper bound against rounding.
+                if v >= self.end {
+                    <$ty>::max(self.start, self.end - (self.end - self.start) * <$ty>::EPSILON)
+                } else {
+                    v
+                }
+            }
+        }
+    };
+}
+
+float_range_impl!(f32);
+float_range_impl!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ seeded via SplitMix64(0), the
+        // construction rand 0.8's SmallRng::seed_from_u64(0) uses.
+        let mut r = SmallRng::seed_from_u64(0);
+        let first = r.next_u64();
+        // SplitMix64(0) expands to these four state words:
+        // e220a8397b1dcdaf, 6e789e6aa1b965f4, 06c45d188009454f,
+        // f88bb8a8724c81ec; xoshiro256++ output 1 is
+        // rotl(s0 + s3, 23) + s0.
+        let s0 = 0xe220a8397b1dcdafu64;
+        let s3 = 0xf88bb8a8724c81ecu64;
+        assert_eq!(first, s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0));
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            let v = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(5u64..=9);
+            assert!((5..=9).contains(&w));
+            let f = r.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 6];
+        for _ in 0..600 {
+            seen[r.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn gen_bool_rejects_invalid_probability() {
+        let mut r = SmallRng::seed_from_u64(0);
+        let _ = r.gen_bool(1.5);
+    }
+}

@@ -1,0 +1,45 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The xoshiro256++ generator — the algorithm behind `rand 0.8`'s
+/// `SmallRng` on 64-bit targets. Fast, 256 bits of state, passes
+/// BigCrush; not cryptographically secure (nor does any caller here
+/// need it to be).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        // SplitMix64 expansion, as rand_xoshiro's seed_from_u64 does.
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

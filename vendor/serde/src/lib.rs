@@ -1,0 +1,22 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no network access, and this workspace
+//! only uses serde as *annotations* (`#[derive(Serialize,
+//! Deserialize)]`) — no code path serializes through serde traits
+//! (model files use the explicit binary codec in
+//! `branchnet-core::persist`). This stub therefore provides the two
+//! marker traits and re-exports no-op derive macros under the same
+//! names, exactly mirroring real serde's namespace layout (trait and
+//! derive share a name in different namespaces).
+
+/// Marker for types declared serializable.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

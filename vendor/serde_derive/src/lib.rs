@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! stub: the workspace uses the derives purely as annotations, so
+//! expanding to nothing is sufficient (and keeps compile times nil).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
