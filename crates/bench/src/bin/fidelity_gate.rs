@@ -1,0 +1,74 @@
+//! Fidelity regression gate.
+//!
+//! Diffs a fresh `--json` run against the checked-in golden baselines
+//! under the per-metric tolerances of `branchnet_bench::gate`, and
+//! exits non-zero with a violations table naming every offending
+//! experiment/row/metric.
+//!
+//! ```text
+//! usage: fidelity_gate <fresh-dir> [--baseline <dir>]
+//! ```
+//!
+//! The baseline directory defaults to `baselines/quick`. Exit codes:
+//! 0 = within tolerance, 1 = violations, 2 = unreadable input/usage.
+
+use branchnet_bench::gate::{diff_runs, render_violations, GatePolicy};
+use branchnet_bench::report::RunReport;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: fidelity_gate <fresh-dir> [--baseline <dir>]");
+    exit(2);
+}
+
+fn read_run(label: &str, dir: &Path) -> RunReport {
+    RunReport::read(dir).unwrap_or_else(|e| {
+        eprintln!("fidelity_gate: cannot read {label} run from {}: {e}", dir.display());
+        exit(2);
+    })
+}
+
+fn main() {
+    let mut fresh_dir: Option<PathBuf> = None;
+    let mut baseline_dir = PathBuf::from("baselines/quick");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(d) => baseline_dir = PathBuf::from(d),
+                None => usage(),
+            },
+            other if fresh_dir.is_none() && !other.starts_with('-') => {
+                fresh_dir = Some(PathBuf::from(other));
+            }
+            _ => usage(),
+        }
+    }
+    let Some(fresh_dir) = fresh_dir else { usage() };
+
+    let baseline = read_run("baseline", &baseline_dir);
+    let fresh = read_run("fresh", &fresh_dir);
+
+    let violations = diff_runs(&baseline, &fresh, &GatePolicy::default());
+    if violations.is_empty() {
+        let metrics: usize = baseline.experiments.iter().map(|e| e.data.metrics().len()).sum();
+        println!(
+            "fidelity gate OK: {} experiments, {} metrics within tolerance ({} vs {})",
+            baseline.experiments.len(),
+            metrics,
+            baseline_dir.display(),
+            fresh_dir.display()
+        );
+        return;
+    }
+    print!("{}", render_violations(&violations));
+    eprintln!(
+        "fidelity_gate: {} drifted from {}; if the shift is intentional, \
+         regenerate the baselines (scripts/regen_baselines.sh) or adjust \
+         the gate tolerances (see EXPERIMENTS.md) in the same PR",
+        fresh_dir.display(),
+        baseline_dir.display()
+    );
+    exit(1);
+}

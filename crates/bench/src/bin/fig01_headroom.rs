@@ -1,11 +1,20 @@
 //! Regenerates Fig. 1 (MPKI decomposition by top mispredicting
-//! branches). `BRANCHNET_SCALE=full` for the thorough profile.
+//! branches). `BRANCHNET_SCALE=full` for the thorough profile;
+//! `--json <dir>` also writes the machine-readable report.
 
 use branchnet_bench::experiments::fig01_headroom;
+use branchnet_bench::report::{self, ExperimentData};
 use branchnet_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    let json_dir = report::json_dir_from_cli("fig01_headroom");
+    let t0 = std::time::Instant::now();
     let rows = fig01_headroom::run(&scale);
     print!("{}", fig01_headroom::render(&rows));
+    if let Some(dir) = json_dir {
+        let data = ExperimentData::Fig01(rows);
+        report::write_single_run(&dir, &scale, "fig01", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
+    }
 }

@@ -1,11 +1,20 @@
 //! Regenerates Fig. 4 (offline-training generalization on the
-//! motivating microbenchmark).
+//! motivating microbenchmark). `--json <dir>` also writes the
+//! machine-readable report.
 
 use branchnet_bench::experiments::fig04_motivating;
+use branchnet_bench::report::{self, ExperimentData};
 use branchnet_bench::Scale;
 
 fn main() {
     let scale = Scale::from_env();
+    let json_dir = report::json_dir_from_cli("fig04_motivating");
+    let t0 = std::time::Instant::now();
     let points = fig04_motivating::run(&scale);
     print!("{}", fig04_motivating::render(&points));
+    if let Some(dir) = json_dir {
+        let data = ExperimentData::Fig04(points);
+        report::write_single_run(&dir, &scale, "fig04", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
+    }
 }

@@ -1,11 +1,21 @@
-//! Regenerates Fig. 9 (MTAGE-SC vs +Big-BranchNet, with ablations).
+//! Regenerates Fig. 9 (MTAGE-SC vs +Big-BranchNet, with ablations)
+//! over all ten benchmarks. `--json <dir>` also writes the
+//! machine-readable report.
 
 use branchnet_bench::experiments::fig09_headroom_mpki;
+use branchnet_bench::report::{self, ExperimentData};
 use branchnet_bench::Scale;
 use branchnet_workloads::spec::Benchmark;
 
 fn main() {
     let scale = Scale::from_env();
+    let json_dir = report::json_dir_from_cli("fig09_headroom_mpki");
+    let t0 = std::time::Instant::now();
     let rows = fig09_headroom_mpki::run(&scale, &Benchmark::all());
     print!("{}", fig09_headroom_mpki::render(&rows));
+    if let Some(dir) = json_dir {
+        let data = ExperimentData::Fig09(rows);
+        report::write_single_run(&dir, &scale, "fig09", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
+    }
 }

@@ -1,13 +1,24 @@
 //! Regenerates Fig. 10 (most-improved branch accuracies, leela & mcf).
+//! `--json <dir>` also writes the machine-readable report.
 
 use branchnet_bench::experiments::fig10_branch_accuracy;
+use branchnet_bench::report::{self, ExperimentData};
 use branchnet_bench::Scale;
 use branchnet_workloads::spec::Benchmark;
 
 fn main() {
     let scale = Scale::from_env();
+    let json_dir = report::json_dir_from_cli("fig10_branch_accuracy");
+    let t0 = std::time::Instant::now();
+    let mut results = Vec::new();
     for bench in [Benchmark::Leela, Benchmark::Mcf] {
         let result = fig10_branch_accuracy::run(&scale, bench, 16);
         print!("{}", fig10_branch_accuracy::render(&result));
+        results.push(result);
+    }
+    if let Some(dir) = json_dir {
+        let data = ExperimentData::Fig10(results);
+        report::write_single_run(&dir, &scale, "fig10", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
     }
 }

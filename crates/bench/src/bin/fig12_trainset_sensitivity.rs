@@ -1,13 +1,24 @@
 //! Regenerates Fig. 12 (sensitivity to training-set size).
+//! `--json <dir>` also writes the machine-readable report.
 
 use branchnet_bench::experiments::fig12_trainset;
+use branchnet_bench::report::{self, ExperimentData};
 use branchnet_bench::Scale;
 use branchnet_workloads::spec::Benchmark;
 
 fn main() {
     let scale = Scale::from_env();
+    let json_dir = report::json_dir_from_cli("fig12_trainset_sensitivity");
+    let t0 = std::time::Instant::now();
+    let mut sweeps = Vec::new();
     for bench in [Benchmark::Leela, Benchmark::Xz] {
         let points = fig12_trainset::run(&scale, bench);
         print!("{}", fig12_trainset::render(bench, &points));
+        sweeps.push(fig12_trainset::Fig12Sweep { bench, points });
+    }
+    if let Some(dir) = json_dir {
+        let data = ExperimentData::Fig12(sweeps);
+        report::write_single_run(&dir, &scale, "fig12", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
     }
 }

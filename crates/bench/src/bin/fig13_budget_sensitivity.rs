@@ -1,13 +1,21 @@
 //! Regenerates Fig. 13 (sensitivity to the Mini-BranchNet storage
-//! budget).
+//! budget). `--json <dir>` also writes the machine-readable report.
 
 use branchnet_bench::experiments::fig13_budget;
+use branchnet_bench::report::{self, ExperimentData};
 use branchnet_bench::Scale;
 use branchnet_workloads::spec::Benchmark;
 
 fn main() {
     let scale = Scale::from_env();
+    let json_dir = report::json_dir_from_cli("fig13_budget_sensitivity");
+    let t0 = std::time::Instant::now();
     let benches = [Benchmark::Leela, Benchmark::Mcf, Benchmark::Deepsjeng, Benchmark::Xz];
     let points = fig13_budget::run(&scale, &benches, &[8, 16, 32, 64]);
     print!("{}", fig13_budget::render(&points));
+    if let Some(dir) = json_dir {
+        let data = ExperimentData::Fig13(points);
+        report::write_single_run(&dir, &scale, "fig13", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
+    }
 }

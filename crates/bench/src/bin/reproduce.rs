@@ -2,15 +2,34 @@
 //! paper-style output of each. `BRANCHNET_SCALE=full` selects the
 //! thorough profile; the default `quick` profile finishes in tens of
 //! minutes on a laptop core.
+//!
+//! With `--json <dir>`, additionally writes one machine-readable
+//! artifact per experiment plus a top-level `manifest.json` (see
+//! `branchnet_bench::report`); `fidelity_gate` diffs such a directory
+//! against the golden baselines in `baselines/quick/`.
 
 use branchnet_bench::cache::ArtifactCache;
 use branchnet_bench::experiments::*;
 use branchnet_bench::parallel::thread_count;
+use branchnet_bench::report::{self, ExperimentData, ExperimentReport, RunManifest, SectionTime};
 use branchnet_bench::Scale;
+use branchnet_tage::TageSclConfig;
 use branchnet_workloads::spec::Benchmark;
+use std::path::PathBuf;
+
+/// Writes one experiment artifact when `--json` is active.
+fn emit(json_dir: Option<&PathBuf>, artifacts: &mut Vec<String>, name: &str, data: ExperimentData) {
+    if let Some(dir) = json_dir {
+        let exp = ExperimentReport::new(name, data);
+        report::write_artifact(dir, &exp)
+            .unwrap_or_else(|e| panic!("writing {name} artifact: {e}"));
+        artifacts.push(exp.file_name());
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
+    let json_dir = report::json_dir_from_cli("reproduce");
     println!(
         "scale: {} | threads: {} (BRANCHNET_THREADS to override)",
         if scale.is_full() { "full" } else { "quick" },
@@ -46,38 +65,61 @@ fn main() {
         section_times.push((name.to_string(), 0.0));
         println!("\n=== {name} [{:.0}s] ===", t0.elapsed().as_secs_f64());
     };
+    let mut artifacts: Vec<String> = Vec::new();
 
     section("Table I");
-    print!("{}", tables::table1());
+    let table1 = tables::table1();
+    print!("{table1}");
+    emit(json_dir.as_ref(), &mut artifacts, "table1", ExperimentData::Text(table1));
     section("Table II");
-    print!("{}", tables::table2());
+    let table2 = tables::table2();
+    print!("{table2}");
+    emit(json_dir.as_ref(), &mut artifacts, "table2", ExperimentData::Text(table2));
     section("Table III");
-    print!("{}", tables::table3());
+    let table3 = tables::table3();
+    print!("{table3}");
+    emit(json_dir.as_ref(), &mut artifacts, "table3", ExperimentData::Text(table3));
 
     section("Fig. 1");
-    print!("{}", fig01_headroom::render(&fig01_headroom::run(&scale)));
+    let fig01_rows = fig01_headroom::run(&scale);
+    print!("{}", fig01_headroom::render(&fig01_rows));
+    emit(json_dir.as_ref(), &mut artifacts, "fig01", ExperimentData::Fig01(fig01_rows));
 
     section("Fig. 4");
-    print!("{}", fig04_motivating::render(&fig04_motivating::run(&scale)));
+    let fig04_points = fig04_motivating::run(&scale);
+    print!("{}", fig04_motivating::render(&fig04_points));
+    emit(json_dir.as_ref(), &mut artifacts, "fig04", ExperimentData::Fig04(fig04_points));
 
     section("Fig. 9");
-    print!("{}", fig09_headroom_mpki::render(&fig09_headroom_mpki::run(&scale, &cnn_benches)));
+    let fig09_rows = fig09_headroom_mpki::run(&scale, &cnn_benches);
+    print!("{}", fig09_headroom_mpki::render(&fig09_rows));
+    emit(json_dir.as_ref(), &mut artifacts, "fig09", ExperimentData::Fig09(fig09_rows));
 
     section("Fig. 10");
+    let mut fig10_results = Vec::new();
     for bench in if full { vec![Benchmark::Leela, Benchmark::Mcf] } else { vec![Benchmark::Leela] }
     {
-        print!("{}", fig10_branch_accuracy::render(&fig10_branch_accuracy::run(&scale, bench, 16)));
+        let result = fig10_branch_accuracy::run(&scale, bench, 16);
+        print!("{}", fig10_branch_accuracy::render(&result));
+        fig10_results.push(result);
     }
+    emit(json_dir.as_ref(), &mut artifacts, "fig10", ExperimentData::Fig10(fig10_results));
 
     section("Fig. 11");
-    print!("{}", fig11_practical::render(&fig11_practical::run(&scale, &cnn_benches)));
+    let fig11_rows = fig11_practical::run(&scale, &cnn_benches);
+    print!("{}", fig11_practical::render(&fig11_rows));
+    emit(json_dir.as_ref(), &mut artifacts, "fig11", ExperimentData::Fig11(fig11_rows));
 
     section("Fig. 12");
     let fig12_benches =
         if full { vec![Benchmark::Leela, Benchmark::Xz] } else { vec![Benchmark::Xz] };
+    let mut fig12_sweeps = Vec::new();
     for bench in fig12_benches {
-        print!("{}", fig12_trainset::render(bench, &fig12_trainset::run(&scale, bench)));
+        let points = fig12_trainset::run(&scale, bench);
+        print!("{}", fig12_trainset::render(bench, &points));
+        fig12_sweeps.push(fig12_trainset::Fig12Sweep { bench, points });
     }
+    emit(json_dir.as_ref(), &mut artifacts, "fig12", ExperimentData::Fig12(fig12_sweeps));
 
     section("Fig. 13");
     let fig13_benches: Vec<Benchmark> = if full {
@@ -85,15 +127,36 @@ fn main() {
     } else {
         vec![Benchmark::Leela, Benchmark::Xz]
     };
-    print!(
-        "{}",
-        fig13_budget::render(&fig13_budget::run(&scale, &fig13_benches, &[8, 16, 32, 64]))
-    );
+    let fig13_points = fig13_budget::run(&scale, &fig13_benches, &[8, 16, 32, 64]);
+    print!("{}", fig13_budget::render(&fig13_points));
+    emit(json_dir.as_ref(), &mut artifacts, "fig13", ExperimentData::Fig13(fig13_points));
 
     section("Table IV");
     let t4_bench = Benchmark::Leela;
     let rows = tables::table4(&scale, t4_bench);
     print!("{}", tables::render_table4(t4_bench, &rows));
+    emit(
+        json_dir.as_ref(),
+        &mut artifacts,
+        "table4",
+        ExperimentData::Table4(tables::Table4Report { bench: t4_bench, rows }),
+    );
+
+    // Pack compositions at the iso-latency budget. The Fig. 11/13
+    // menus are already trained and cached, so only the cheap knapsack
+    // re-runs here.
+    section("Mini packs");
+    let pack_baseline = TageSclConfig::tage_sc_l_64kb().without_sc_local();
+    let budget = 32 * 1024;
+    let packs: Vec<mini_pack::MiniPackReport> = cnn_benches
+        .iter()
+        .map(|&bench| {
+            let pack = mini_pack::build_mini_pack(bench, &pack_baseline, &scale, budget);
+            mini_pack::MiniPackReport::from_pack(bench, budget, &pack)
+        })
+        .collect();
+    print!("{}", mini_pack::render_packs(&packs));
+    emit(json_dir.as_ref(), &mut artifacts, "mini_pack", ExperimentData::MiniPack(packs));
 
     if let Some((_, secs)) = section_times.last_mut() {
         *secs = last.elapsed().as_secs_f64();
@@ -103,5 +166,23 @@ fn main() {
         println!("{name:<10} {secs:>7.1}s");
     }
     println!("cache: {}", ArtifactCache::global().stats().summary());
+
+    if let Some(dir) = json_dir.as_ref() {
+        let mut manifest = RunManifest::new(&scale, thread_count());
+        manifest.artifacts = artifacts;
+        manifest.sections = section_times
+            .iter()
+            .map(|(name, secs)| SectionTime { name: name.clone(), seconds: *secs })
+            .collect();
+        manifest.cache = ArtifactCache::global().stats();
+        std::fs::create_dir_all(dir).expect("creating --json directory");
+        std::fs::write(dir.join(report::MANIFEST_FILE), {
+            use branchnet_bench::json::ToJson;
+            manifest.to_json().render()
+        })
+        .expect("writing manifest.json");
+        println!("json report: {}", dir.display());
+    }
+
     println!("\nDone in {:.0}s.", t0.elapsed().as_secs_f64());
 }

@@ -1,5 +1,19 @@
 //! Prints Table I (architecture knobs of every configuration).
+//! `--json <dir>` also writes the machine-readable report.
+
+use branchnet_bench::experiments::tables;
+use branchnet_bench::report::{self, ExperimentData};
+use branchnet_bench::Scale;
 
 fn main() {
-    print!("{}", branchnet_bench::experiments::tables::table1());
+    let json_dir = report::json_dir_from_cli("table1_configs");
+    let t0 = std::time::Instant::now();
+    let table = tables::table1();
+    print!("{table}");
+    if let Some(dir) = json_dir {
+        let scale = Scale::from_env();
+        let data = ExperimentData::Text(table);
+        report::write_single_run(&dir, &scale, "table1", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
+    }
 }

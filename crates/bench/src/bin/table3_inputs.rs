@@ -1,5 +1,19 @@
 //! Prints Table III (workload input partitioning).
+//! `--json <dir>` also writes the machine-readable report.
+
+use branchnet_bench::experiments::tables;
+use branchnet_bench::report::{self, ExperimentData};
+use branchnet_bench::Scale;
 
 fn main() {
-    print!("{}", branchnet_bench::experiments::tables::table3());
+    let json_dir = report::json_dir_from_cli("table3_inputs");
+    let t0 = std::time::Instant::now();
+    let table = tables::table3();
+    print!("{table}");
+    if let Some(dir) = json_dir {
+        let scale = Scale::from_env();
+        let data = ExperimentData::Text(table);
+        report::write_single_run(&dir, &scale, "table3", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
+    }
 }

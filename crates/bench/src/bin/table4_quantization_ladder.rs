@@ -1,12 +1,21 @@
 //! Regenerates Table IV (the Big→Mini quantization ladder).
+//! `--json <dir>` also writes the machine-readable report.
 
 use branchnet_bench::experiments::tables;
+use branchnet_bench::report::{self, ExperimentData};
 use branchnet_bench::Scale;
 use branchnet_workloads::spec::Benchmark;
 
 fn main() {
     let scale = Scale::from_env();
+    let json_dir = report::json_dir_from_cli("table4_quantization_ladder");
+    let t0 = std::time::Instant::now();
     let bench = Benchmark::Leela;
     let rows = tables::table4(&scale, bench);
     print!("{}", tables::render_table4(bench, &rows));
+    if let Some(dir) = json_dir {
+        let data = ExperimentData::Table4(tables::Table4Report { bench, rows });
+        report::write_single_run(&dir, &scale, "table4", data, t0.elapsed().as_secs_f64())
+            .expect("writing json report");
+    }
 }

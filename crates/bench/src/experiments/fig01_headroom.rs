@@ -8,7 +8,9 @@
 //! Fig. 9/11 then measure how much of it the CNNs actually capture.
 
 use crate::harness::{trace_set, Scale};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
+use crate::report::{bench_from_json, bench_to_json};
 use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
 use branchnet_trace::BranchStats;
 use branchnet_workloads::spec::Benchmark;
@@ -26,6 +28,30 @@ pub struct Fig01Row {
     pub top25: f64,
     /// … the top 50.
     pub top50: f64,
+}
+
+impl ToJson for Fig01Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", bench_to_json(self.bench)),
+            ("mpki", Json::Num(self.mpki)),
+            ("top8", Json::Num(self.top8)),
+            ("top25", Json::Num(self.top25)),
+            ("top50", Json::Num(self.top50)),
+        ])
+    }
+}
+
+impl FromJson for Fig01Row {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bench: bench_from_json(json.field("bench")?)?,
+            mpki: json.field("mpki")?.as_f64()?,
+            top8: json.field("top8")?.as_f64()?,
+            top25: json.field("top25")?.as_f64()?,
+            top50: json.field("top50")?.as_f64()?,
+        })
+    }
 }
 
 /// Runs the experiment for every benchmark.

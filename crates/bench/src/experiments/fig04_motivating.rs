@@ -10,6 +10,7 @@
 //! every α.
 
 use crate::harness::Scale;
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::dataset::extract;
@@ -27,6 +28,30 @@ pub struct Fig04Point {
     pub tage: f64,
     /// CNN accuracy per training set (paper's sets 1–3).
     pub cnn: [f64; 3],
+}
+
+impl ToJson for Fig04Point {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("alpha", Json::Num(self.alpha)),
+            ("tage", Json::Num(self.tage)),
+            ("cnn", Json::Arr(self.cnn.iter().map(|&a| Json::Num(a)).collect())),
+        ])
+    }
+}
+
+impl FromJson for Fig04Point {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let cnn_arr = json.field("cnn")?.as_arr()?;
+        if cnn_arr.len() != 3 {
+            return Err(format!("expected 3 cnn accuracies, got {}", cnn_arr.len()));
+        }
+        let mut cnn = [0.0; 3];
+        for (slot, v) in cnn.iter_mut().zip(cnn_arr) {
+            *slot = v.as_f64()?;
+        }
+        Ok(Self { alpha: json.field("alpha")?.as_f64()?, tage: json.field("tage")?.as_f64()?, cnn })
+    }
 }
 
 /// The CNN architecture used for this figure: three geometric slices

@@ -3,7 +3,9 @@
 //! component ablations, per benchmark.
 
 use crate::harness::{baseline_mpki, cached_pack, hybrid_mpki_float, trace_set, Scale};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
+use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::config::BranchNetConfig;
 use branchnet_tage::TageSclConfig;
 use branchnet_workloads::spec::Benchmark;
@@ -25,6 +27,34 @@ pub struct Fig09Row {
     pub no_sc_local: f64,
     /// Number of static branches Big-BranchNet improved.
     pub improved_branches: usize,
+}
+
+impl ToJson for Fig09Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", bench_to_json(self.bench)),
+            ("tage_sc_l_64kb", Json::Num(self.tage_sc_l_64kb)),
+            ("mtage_sc", Json::Num(self.mtage_sc)),
+            ("mtage_plus_big", Json::Num(self.mtage_plus_big)),
+            ("gtage_only", Json::Num(self.gtage_only)),
+            ("no_sc_local", Json::Num(self.no_sc_local)),
+            ("improved_branches", Json::Num(self.improved_branches as f64)),
+        ])
+    }
+}
+
+impl FromJson for Fig09Row {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bench: bench_from_json(json.field("bench")?)?,
+            tage_sc_l_64kb: json.field("tage_sc_l_64kb")?.as_f64()?,
+            mtage_sc: json.field("mtage_sc")?.as_f64()?,
+            mtage_plus_big: json.field("mtage_plus_big")?.as_f64()?,
+            gtage_only: json.field("gtage_only")?.as_f64()?,
+            no_sc_local: json.field("no_sc_local")?.as_f64()?,
+            improved_branches: json.field("improved_branches")?.as_usize()?,
+        })
+    }
 }
 
 /// The Big model used for headroom (compute-scaled; see DESIGN.md).

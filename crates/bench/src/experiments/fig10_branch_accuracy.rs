@@ -3,6 +3,8 @@
 
 use crate::experiments::fig09_headroom_mpki::big_config;
 use crate::harness::{cached_pack, trace_set, Scale};
+use crate::json::{arr_from_json, arr_to_json, FromJson, Json, JsonError, ToJson};
+use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::dataset::extract;
 use branchnet_core::trainer::evaluate_accuracy;
 use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
@@ -23,12 +25,49 @@ pub struct Fig10Row {
 }
 
 /// The most-improved branches of one benchmark.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig10Result {
     /// The benchmark.
     pub bench: Benchmark,
     /// Rows sorted by validation improvement, best first.
     pub rows: Vec<Fig10Row>,
+}
+
+impl ToJson for Fig10Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pc", Json::hex(self.pc)),
+            ("mtage_accuracy", Json::Num(self.mtage_accuracy)),
+            ("branchnet_accuracy", Json::Num(self.branchnet_accuracy)),
+            ("occurrences", Json::Num(self.occurrences)),
+        ])
+    }
+}
+
+impl FromJson for Fig10Row {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            pc: json.field("pc")?.as_hex_u64()?,
+            mtage_accuracy: json.field("mtage_accuracy")?.as_f64()?,
+            branchnet_accuracy: json.field("branchnet_accuracy")?.as_f64()?,
+            occurrences: json.field("occurrences")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for Fig10Result {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("bench", bench_to_json(self.bench)), ("rows", arr_to_json(&self.rows))])
+    }
+}
+
+impl FromJson for Fig10Result {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bench: bench_from_json(json.field("bench")?)?,
+            rows: arr_from_json(json.field("rows")?)?,
+        })
+    }
 }
 
 /// Runs the experiment for `bench` (the paper shows leela and mcf),

@@ -9,7 +9,9 @@
 
 use crate::experiments::mini_pack::{build_mini_pack, build_pack_with_menu, MiniPack};
 use crate::harness::{cached_pack, float_hybrid, hybrid_test_mpki, test_stats, trace_set, Scale};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
+use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::engine::InferenceEngine;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
@@ -45,6 +47,47 @@ pub struct Fig11Row {
     pub tarsa_float: Setting,
     /// 64 KB TAGE-SC-L + Tarsa-Ternary.
     pub tarsa_ternary: Setting,
+}
+
+impl ToJson for Setting {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("mpki", Json::Num(self.mpki)), ("ipc", Json::Num(self.ipc))])
+    }
+}
+
+impl FromJson for Setting {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self { mpki: json.field("mpki")?.as_f64()?, ipc: json.field("ipc")?.as_f64()? })
+    }
+}
+
+impl ToJson for Fig11Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", bench_to_json(self.bench)),
+            ("base", self.base.to_json()),
+            ("iso_storage", self.iso_storage.to_json()),
+            ("iso_latency", self.iso_latency.to_json()),
+            ("big", self.big.to_json()),
+            ("tarsa_float", self.tarsa_float.to_json()),
+            ("tarsa_ternary", self.tarsa_ternary.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Fig11Row {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let setting = |k: &str| json.field(k).and_then(Setting::from_json);
+        Ok(Self {
+            bench: bench_from_json(json.field("bench")?)?,
+            base: setting("base")?,
+            iso_storage: setting("iso_storage")?,
+            iso_latency: setting("iso_latency")?,
+            big: setting("big")?,
+            tarsa_float: setting("tarsa_float")?,
+            tarsa_ternary: setting("tarsa_ternary")?,
+        })
+    }
 }
 
 fn evaluate_setting(hybrid: &HybridPredictor, traces: &TraceSet, cpu: &CpuConfig) -> Setting {

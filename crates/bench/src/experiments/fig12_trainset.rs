@@ -6,7 +6,9 @@
 //! is the same lever (examples scale linearly with trace count).
 
 use crate::harness::{baseline_mpki, cached_pack, hybrid_mpki_float, trace_set, Scale};
+use crate::json::{arr_from_json, arr_to_json, FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
+use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::config::BranchNetConfig;
 use branchnet_tage::TageSclConfig;
 use branchnet_workloads::spec::Benchmark;
@@ -18,6 +20,49 @@ pub struct Fig12Point {
     pub examples: usize,
     /// Big-BranchNet hybrid MPKI reduction vs the baseline (%).
     pub mpki_reduction_pct: f64,
+}
+
+/// One benchmark's full sweep (the unit the report layer stores, so
+/// one artifact can carry several benchmarks' sweeps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig12Sweep {
+    /// The benchmark swept.
+    pub bench: Benchmark,
+    /// Points in ascending training-set size.
+    pub points: Vec<Fig12Point>,
+}
+
+impl ToJson for Fig12Point {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("examples", Json::Num(self.examples as f64)),
+            ("mpki_reduction_pct", Json::Num(self.mpki_reduction_pct)),
+        ])
+    }
+}
+
+impl FromJson for Fig12Point {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            examples: json.field("examples")?.as_usize()?,
+            mpki_reduction_pct: json.field("mpki_reduction_pct")?.as_f64()?,
+        })
+    }
+}
+
+impl ToJson for Fig12Sweep {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("bench", bench_to_json(self.bench)), ("points", arr_to_json(&self.points))])
+    }
+}
+
+impl FromJson for Fig12Sweep {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bench: bench_from_json(json.field("bench")?)?,
+            points: arr_from_json(json.field("points")?)?,
+        })
+    }
 }
 
 /// Runs the sweep on one benchmark.

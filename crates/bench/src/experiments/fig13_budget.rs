@@ -3,7 +3,9 @@
 
 use crate::experiments::mini_pack::{cached_menu, pack_from_menu};
 use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
+use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::engine::InferenceEngine;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
@@ -21,6 +23,28 @@ pub struct Fig13Point {
     pub mpki_reduction_pct: f64,
     /// Models actually attached.
     pub models: usize,
+}
+
+impl ToJson for Fig13Point {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", bench_to_json(self.bench)),
+            ("budget_kb", Json::Num(self.budget_kb as f64)),
+            ("mpki_reduction_pct", Json::Num(self.mpki_reduction_pct)),
+            ("models", Json::Num(self.models as f64)),
+        ])
+    }
+}
+
+impl FromJson for Fig13Point {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bench: bench_from_json(json.field("bench")?)?,
+            budget_kb: json.field("budget_kb")?.as_usize()?,
+            mpki_reduction_pct: json.field("mpki_reduction_pct")?.as_f64()?,
+            models: json.field("models")?.as_usize()?,
+        })
+    }
 }
 
 /// Sweeps budgets over the given benchmarks.

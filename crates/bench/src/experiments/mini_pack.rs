@@ -16,7 +16,9 @@
 
 use crate::cache::ArtifactCache;
 use crate::harness::{trace_set, Scale};
+use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
+use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::dataset::extract;
 use branchnet_core::quantize::{QuantMode, QuantizedMini};
@@ -55,6 +57,81 @@ pub struct MiniPack {
     pub models: Vec<(u64, QuantizedMini)>,
     /// Total storage of the selected models in bytes.
     pub total_bytes: usize,
+}
+
+/// The report-layer view of a [`MiniPack`]: which branches were
+/// covered under which budget (the quantized weights themselves live
+/// in the binary model format, not in reports).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniPackReport {
+    /// The benchmark the pack was built for.
+    pub bench: Benchmark,
+    /// The storage budget the knapsack solved for, in bytes.
+    pub budget_bytes: usize,
+    /// Storage actually selected, in bytes.
+    pub total_bytes: usize,
+    /// Covered branch addresses, in selection order.
+    pub model_pcs: Vec<u64>,
+}
+
+impl MiniPackReport {
+    /// Summarizes a solved pack.
+    #[must_use]
+    pub fn from_pack(bench: Benchmark, budget_bytes: usize, pack: &MiniPack) -> Self {
+        Self {
+            bench,
+            budget_bytes,
+            total_bytes: pack.total_bytes,
+            model_pcs: pack.models.iter().map(|(pc, _)| *pc).collect(),
+        }
+    }
+}
+
+impl ToJson for MiniPackReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("bench", bench_to_json(self.bench)),
+            ("budget_bytes", Json::Num(self.budget_bytes as f64)),
+            ("total_bytes", Json::Num(self.total_bytes as f64)),
+            ("model_pcs", Json::Arr(self.model_pcs.iter().map(|&pc| Json::hex(pc)).collect())),
+        ])
+    }
+}
+
+impl FromJson for MiniPackReport {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bench: bench_from_json(json.field("bench")?)?,
+            budget_bytes: json.field("budget_bytes")?.as_usize()?,
+            total_bytes: json.field("total_bytes")?.as_usize()?,
+            model_pcs: json
+                .field("model_pcs")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_hex_u64)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+/// Paper-style rendering of pack compositions (the text twin of the
+/// `mini_pack` report artifact).
+#[must_use]
+pub fn render_packs(packs: &[MiniPackReport]) -> String {
+    let mut out = String::from(
+        "Mini-BranchNet pack composition (iso-latency budget)\n\
+         benchmark    budget   selected  models\n",
+    );
+    for p in packs {
+        out.push_str(&format!(
+            "{:<12} {:>5}KB  {:>6}B   {:>4}\n",
+            p.bench.name(),
+            p.budget_bytes / 1024,
+            p.total_bytes,
+            p.model_pcs.len()
+        ));
+    }
+    out
 }
 
 /// Trains and scores the full menu for every candidate branch (the

@@ -7,6 +7,8 @@
 //!   to fully-quantized Mini-BranchNet (measured).
 
 use crate::harness::{baseline_mpki, cached_pack, hybrid_test_mpki, trace_set, Scale};
+use crate::json::{arr_from_json, arr_to_json, FromJson, Json, JsonError, ToJson};
+use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::engine::InferenceEngine;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
@@ -102,9 +104,52 @@ pub fn table3() -> String {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table4Row {
     /// Rung label.
-    pub label: &'static str,
+    pub label: String,
     /// MPKI reduction over the baseline (%).
     pub mpki_reduction_pct: f64,
+}
+
+impl ToJson for Table4Row {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("mpki_reduction_pct", Json::Num(self.mpki_reduction_pct)),
+        ])
+    }
+}
+
+impl FromJson for Table4Row {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            label: json.field("label")?.as_str()?.to_string(),
+            mpki_reduction_pct: json.field("mpki_reduction_pct")?.as_f64()?,
+        })
+    }
+}
+
+/// Table IV as stored in a report artifact: the benchmark the ladder
+/// was measured on plus its rungs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Report {
+    /// The measured benchmark (the paper uses leela).
+    pub bench: Benchmark,
+    /// Ladder rungs, Big first.
+    pub rows: Vec<Table4Row>,
+}
+
+impl ToJson for Table4Report {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![("bench", bench_to_json(self.bench)), ("rows", arr_to_json(&self.rows))])
+    }
+}
+
+impl FromJson for Table4Report {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            bench: bench_from_json(json.field("bench")?)?,
+            rows: arr_from_json(json.field("rows")?)?,
+        })
+    }
 }
 
 /// Measures the Table IV ladder on one benchmark (the paper uses
@@ -155,12 +200,14 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
     let mini_conv = reduction(hybrid_test_mpki(&conv_hybrid, &traces));
     let mini_full = reduction(hybrid_test_mpki(&full_hybrid, &traces));
 
+    let row =
+        |label: &str, pct: f64| Table4Row { label: label.to_string(), mpki_reduction_pct: pct };
     vec![
-        Table4Row { label: "Big-BranchNet: no branch capacity limit", mpki_reduction_pct: big_all },
-        Table4Row { label: "Big-BranchNet: same branches as Mini", mpki_reduction_pct: big_same },
-        Table4Row { label: "Mini-BranchNet: floating-point", mpki_reduction_pct: mini_float },
-        Table4Row { label: "Mini-BranchNet: quantized convolution", mpki_reduction_pct: mini_conv },
-        Table4Row { label: "Mini-BranchNet: fully-quantized", mpki_reduction_pct: mini_full },
+        row("Big-BranchNet: no branch capacity limit", big_all),
+        row("Big-BranchNet: same branches as Mini", big_same),
+        row("Mini-BranchNet: floating-point", mini_float),
+        row("Mini-BranchNet: quantized convolution", mini_conv),
+        row("Mini-BranchNet: fully-quantized", mini_full),
     ]
 }
 

@@ -1,0 +1,550 @@
+//! Fidelity regression gate.
+//!
+//! Compares a fresh JSON run (see [`crate::report`]) against the
+//! checked-in golden baselines under explicit per-metric tolerances,
+//! so a code change that silently degrades MPKI reduction or
+//! quantization accuracy fails CI with a table naming the offending
+//! experiment and metric instead of slipping through as "tests still
+//! green".
+//!
+//! Tolerance classes are selected by metric-name suffix:
+//!
+//! | metric suffix        | class        | default tolerance          |
+//! |----------------------|--------------|----------------------------|
+//! | `mpki` / `*_mpki`    | absolute     | ±0.05 MPKI                 |
+//! | `*_reduction_pct`    | relative     | ±max(0.5 pt, 5% of value)  |
+//! | `*_accuracy`         | abs. points  | ±1.0 percentage point      |
+//! | `*_ipc`              | relative     | ±1% of value               |
+//! | anything else        | exact        | byte/bit equality          |
+//!
+//! The gate is symmetric: an unexplained *improvement* is drift too —
+//! it means the committed baselines no longer describe the tree and
+//! must be regenerated (`scripts/regen_baselines.sh`), which is
+//! exactly the review-visible event the gate exists to force.
+
+use crate::report::{ExperimentReport, MetricValue, RunReport};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-class tolerance knobs. Loosen a knob (or regenerate baselines)
+/// in the same PR as an intentional metric shift — see EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatePolicy {
+    /// Absolute MPKI epsilon.
+    pub mpki_abs: f64,
+    /// Relative tolerance on reduction percentages (fraction of the
+    /// baseline magnitude).
+    pub reduction_rel: f64,
+    /// Absolute floor on reduction-percentage drift, in percentage
+    /// points (keeps near-zero baselines from demanding exactness).
+    pub reduction_floor_pct: f64,
+    /// Accuracy drift allowance in percentage points (accuracies are
+    /// stored in `[0, 1]`).
+    pub accuracy_points: f64,
+    /// Relative IPC tolerance (fraction of the baseline value).
+    pub ipc_rel: f64,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        Self {
+            mpki_abs: 0.05,
+            reduction_rel: 0.05,
+            reduction_floor_pct: 0.5,
+            accuracy_points: 1.0,
+            ipc_rel: 0.01,
+        }
+    }
+}
+
+/// The tolerance class a metric name maps to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ToleranceClass {
+    /// Absolute-epsilon MPKI comparison.
+    Mpki,
+    /// Relative-with-floor reduction-percentage comparison.
+    ReductionPct,
+    /// Percentage-point accuracy comparison.
+    Accuracy,
+    /// Relative IPC comparison.
+    Ipc,
+    /// Exact equality (counts, addresses, rendered tables, and any
+    /// metric the policy does not recognize — unknown names failing
+    /// closed is deliberate).
+    Exact,
+}
+
+impl GatePolicy {
+    /// Classifies a metric name by suffix.
+    #[must_use]
+    pub fn classify(name: &str) -> ToleranceClass {
+        if name == "mpki" || name.ends_with("_mpki") {
+            ToleranceClass::Mpki
+        } else if name.ends_with("_reduction_pct") {
+            ToleranceClass::ReductionPct
+        } else if name == "accuracy" || name.ends_with("_accuracy") {
+            ToleranceClass::Accuracy
+        } else if name == "ipc" || name.ends_with("_ipc") {
+            ToleranceClass::Ipc
+        } else {
+            ToleranceClass::Exact
+        }
+    }
+
+    /// The largest `|fresh - baseline|` this policy accepts for
+    /// `name` given the baseline value.
+    #[must_use]
+    pub fn allowed_drift(&self, name: &str, baseline: f64) -> f64 {
+        match Self::classify(name) {
+            ToleranceClass::Mpki => self.mpki_abs,
+            ToleranceClass::ReductionPct => {
+                self.reduction_floor_pct.max(self.reduction_rel * baseline.abs())
+            }
+            ToleranceClass::Accuracy => self.accuracy_points / 100.0,
+            ToleranceClass::Ipc => self.ipc_rel * baseline.abs(),
+            ToleranceClass::Exact => 0.0,
+        }
+    }
+}
+
+/// Why a comparison failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Baseline and fresh runs were written under different schemas.
+    SchemaVersion,
+    /// Baseline and fresh runs used different scales.
+    ScaleMismatch,
+    /// An experiment present in the baselines is absent from the
+    /// fresh run.
+    MissingExperiment,
+    /// The fresh run produced an experiment the baselines lack.
+    ExtraExperiment,
+    /// A metric present in the baselines is absent from the fresh run.
+    MissingMetric,
+    /// The fresh run produced a metric the baselines lack.
+    ExtraMetric,
+    /// A numeric metric moved beyond its tolerance.
+    Drift,
+    /// An exact-match (text) metric changed.
+    TextDrift,
+    /// A metric changed representation (number vs text).
+    TypeMismatch,
+}
+
+impl ViolationKind {
+    /// Short label for the violation table.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::SchemaVersion => "schema-version",
+            ViolationKind::ScaleMismatch => "scale-mismatch",
+            ViolationKind::MissingExperiment => "missing-experiment",
+            ViolationKind::ExtraExperiment => "extra-experiment",
+            ViolationKind::MissingMetric => "missing-metric",
+            ViolationKind::ExtraMetric => "extra-metric",
+            ViolationKind::Drift => "drift",
+            ViolationKind::TextDrift => "text-drift",
+            ViolationKind::TypeMismatch => "type-mismatch",
+        }
+    }
+}
+
+/// One gate failure, addressed down to the metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// What failed.
+    pub kind: ViolationKind,
+    /// Experiment (artifact) name.
+    pub experiment: String,
+    /// Row key within the experiment (`-` for run-level failures).
+    pub row: String,
+    /// Metric name (`-` for row/experiment-level failures).
+    pub metric: String,
+    /// Human-readable baseline-vs-fresh detail.
+    pub detail: String,
+}
+
+fn violation(
+    kind: ViolationKind,
+    experiment: &str,
+    row: &str,
+    metric: &str,
+    detail: String,
+) -> Violation {
+    Violation {
+        kind,
+        experiment: experiment.to_string(),
+        row: row.to_string(),
+        metric: metric.to_string(),
+        detail,
+    }
+}
+
+/// Diffs one experiment pair under the policy.
+#[must_use]
+pub fn diff_experiment(
+    baseline: &ExperimentReport,
+    fresh: &ExperimentReport,
+    policy: &GatePolicy,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let name = &baseline.name;
+    let base_metrics = baseline.data.metrics();
+    let fresh_metrics = fresh.data.metrics();
+    let mut fresh_by_key: HashMap<(&str, &str), &MetricValue> =
+        fresh_metrics.iter().map(|m| ((m.row.as_str(), m.name.as_str()), &m.value)).collect();
+
+    for m in &base_metrics {
+        let Some(fresh_value) = fresh_by_key.remove(&(m.row.as_str(), m.name.as_str())) else {
+            out.push(violation(
+                ViolationKind::MissingMetric,
+                name,
+                &m.row,
+                &m.name,
+                "present in baseline, absent in fresh run".to_string(),
+            ));
+            continue;
+        };
+        match (&m.value, fresh_value) {
+            (MetricValue::Num(b), MetricValue::Num(f)) => {
+                let drift = f - b;
+                let allowed = policy.allowed_drift(&m.name, *b);
+                if drift.abs() > allowed || drift.is_nan() {
+                    out.push(violation(
+                        ViolationKind::Drift,
+                        name,
+                        &m.row,
+                        &m.name,
+                        format!(
+                            "baseline {b} -> fresh {f} (drift {drift:+.6}, allowed ±{allowed})"
+                        ),
+                    ));
+                }
+            }
+            (MetricValue::Text(b), MetricValue::Text(f)) => {
+                if b != f {
+                    out.push(violation(
+                        ViolationKind::TextDrift,
+                        name,
+                        &m.row,
+                        &m.name,
+                        first_text_difference(b, f),
+                    ));
+                }
+            }
+            (b, f) => {
+                out.push(violation(
+                    ViolationKind::TypeMismatch,
+                    name,
+                    &m.row,
+                    &m.name,
+                    format!("baseline {b:?} vs fresh {f:?}"),
+                ));
+            }
+        }
+    }
+    // Whatever the baseline did not claim is new surface the baselines
+    // do not vouch for.
+    for m in &fresh_metrics {
+        if fresh_by_key.contains_key(&(m.row.as_str(), m.name.as_str())) {
+            out.push(violation(
+                ViolationKind::ExtraMetric,
+                name,
+                &m.row,
+                &m.name,
+                "absent in baseline, present in fresh run".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Points at the first line where two rendered texts diverge.
+fn first_text_difference(baseline: &str, fresh: &str) -> String {
+    for (i, (b, f)) in baseline.lines().zip(fresh.lines()).enumerate() {
+        if b != f {
+            return format!("first differing line {}: baseline {b:?} vs fresh {f:?}", i + 1);
+        }
+    }
+    format!(
+        "line count changed: baseline {} vs fresh {}",
+        baseline.lines().count(),
+        fresh.lines().count()
+    )
+}
+
+/// Diffs a whole fresh run against the golden baselines.
+#[must_use]
+pub fn diff_runs(baseline: &RunReport, fresh: &RunReport, policy: &GatePolicy) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let (bm, fm) = (&baseline.manifest, &fresh.manifest);
+    if bm.schema_version != fm.schema_version {
+        out.push(violation(
+            ViolationKind::SchemaVersion,
+            "manifest",
+            "-",
+            "-",
+            format!("baseline schema {} vs fresh schema {}", bm.schema_version, fm.schema_version),
+        ));
+        // Cross-schema metric diffs would be noise on top of the real
+        // problem; stop at the run level.
+        return out;
+    }
+    if bm.scale != fm.scale {
+        out.push(violation(
+            ViolationKind::ScaleMismatch,
+            "manifest",
+            "-",
+            "-",
+            format!("baseline scale {:?} vs fresh scale {:?}", bm.scale, fm.scale),
+        ));
+        return out;
+    }
+    for base_exp in &baseline.experiments {
+        match fresh.experiments.iter().find(|e| e.name == base_exp.name) {
+            Some(fresh_exp) => out.extend(diff_experiment(base_exp, fresh_exp, policy)),
+            None => out.push(violation(
+                ViolationKind::MissingExperiment,
+                &base_exp.name,
+                "-",
+                "-",
+                "experiment present in baseline, absent in fresh run".to_string(),
+            )),
+        }
+    }
+    for fresh_exp in &fresh.experiments {
+        if !baseline.experiments.iter().any(|e| e.name == fresh_exp.name) {
+            out.push(violation(
+                ViolationKind::ExtraExperiment,
+                &fresh_exp.name,
+                "-",
+                "-",
+                "experiment absent in baseline, present in fresh run".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders violations as the human-readable table the gate prints
+/// before exiting non-zero.
+#[must_use]
+pub fn render_violations(violations: &[Violation]) -> String {
+    let mut out = format!("FIDELITY GATE: {} violation(s)\n", violations.len());
+    let width = |f: fn(&Violation) -> usize| violations.iter().map(f).max().unwrap_or(0);
+    let (we, wr, wm) = (
+        width(|v| v.experiment.len()).max("experiment".len()),
+        width(|v| v.row.len()).max("row".len()),
+        width(|v| v.metric.len()).max("metric".len()),
+    );
+    let _ = writeln!(
+        out,
+        "{:<we$}  {:<wr$}  {:<wm$}  {:<18}  detail",
+        "experiment", "row", "metric", "kind"
+    );
+    for v in violations {
+        let _ = writeln!(
+            out,
+            "{:<we$}  {:<wr$}  {:<wm$}  {:<18}  {}",
+            v.experiment,
+            v.row,
+            v.metric,
+            v.kind.label(),
+            v.detail
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig01_headroom::Fig01Row;
+    use crate::experiments::fig13_budget::Fig13Point;
+    use crate::report::{ExperimentData, ExperimentReport, RunManifest, RunReport};
+    use crate::Scale;
+    use branchnet_workloads::spec::Benchmark;
+
+    fn fig01(mpki: f64) -> ExperimentReport {
+        ExperimentReport::new(
+            "fig01",
+            ExperimentData::Fig01(vec![Fig01Row {
+                bench: Benchmark::Xz,
+                mpki,
+                top8: 1.0,
+                top25: 1.5,
+                top50: 2.0,
+            }]),
+        )
+    }
+
+    fn fig13(reduction: f64, models: usize) -> ExperimentReport {
+        ExperimentReport::new(
+            "fig13",
+            ExperimentData::Fig13(vec![Fig13Point {
+                bench: Benchmark::Xz,
+                budget_kb: 32,
+                mpki_reduction_pct: reduction,
+                models,
+            }]),
+        )
+    }
+
+    fn run_of(experiments: Vec<ExperimentReport>) -> RunReport {
+        let mut manifest = RunManifest::new(&Scale::quick(), 2);
+        manifest.artifacts = experiments.iter().map(ExperimentReport::file_name).collect();
+        RunReport { manifest, experiments }
+    }
+
+    #[test]
+    fn classification_by_suffix() {
+        assert_eq!(GatePolicy::classify("mpki"), ToleranceClass::Mpki);
+        assert_eq!(GatePolicy::classify("mtage_sc_mpki"), ToleranceClass::Mpki);
+        assert_eq!(GatePolicy::classify("mpki_reduction_pct"), ToleranceClass::ReductionPct);
+        assert_eq!(GatePolicy::classify("cnn_set3_accuracy"), ToleranceClass::Accuracy);
+        assert_eq!(GatePolicy::classify("base_ipc"), ToleranceClass::Ipc);
+        assert_eq!(GatePolicy::classify("models"), ToleranceClass::Exact);
+        assert_eq!(GatePolicy::classify("never_seen_before"), ToleranceClass::Exact);
+    }
+
+    #[test]
+    fn mpki_drift_at_epsilon_passes_and_just_over_fails() {
+        let policy = GatePolicy::default();
+        let base = fig01(3.0);
+        // Exactly at the epsilon: allowed (tolerances are inclusive).
+        let at = fig01(3.0 + policy.mpki_abs);
+        assert!(diff_experiment(&base, &at, &policy).is_empty());
+        // Just beyond: flagged, naming experiment, row, and metric.
+        let over = fig01(3.0 + policy.mpki_abs + 1e-6);
+        let violations = diff_experiment(&base, &over, &policy);
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(
+            (v.kind, v.experiment.as_str(), v.row.as_str(), v.metric.as_str()),
+            (ViolationKind::Drift, "fig01", "xz", "mpki")
+        );
+    }
+
+    #[test]
+    fn reduction_drift_is_flagged_in_both_directions() {
+        let policy = GatePolicy::default();
+        let base = fig13(10.0, 3);
+        // allowed = max(0.5, 5% of 10.0) = 0.5 points.
+        assert!(diff_experiment(&base, &fig13(10.4, 3), &policy).is_empty());
+        assert!(diff_experiment(&base, &fig13(9.6, 3), &policy).is_empty());
+        let worse = diff_experiment(&base, &fig13(9.4, 3), &policy);
+        assert_eq!(worse.len(), 1);
+        assert!(worse[0].detail.contains("drift -0.6"), "{}", worse[0].detail);
+        // An unexplained improvement is drift too.
+        let better = diff_experiment(&base, &fig13(10.6, 3), &policy);
+        assert_eq!(better.len(), 1);
+        assert!(better[0].detail.contains("drift +0.6"), "{}", better[0].detail);
+    }
+
+    #[test]
+    fn reduction_floor_protects_near_zero_baselines() {
+        let policy = GatePolicy::default();
+        // 5% of 0.1 is 0.005 points, but the 0.5-point floor governs.
+        assert!(diff_experiment(&fig13(0.1, 3), &fig13(0.4, 3), &policy).is_empty());
+        assert_eq!(diff_experiment(&fig13(0.1, 3), &fig13(0.7, 3), &policy).len(), 1);
+    }
+
+    #[test]
+    fn counts_are_exact() {
+        let policy = GatePolicy::default();
+        let violations = diff_experiment(&fig13(10.0, 3), &fig13(10.0, 4), &policy);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            (violations[0].kind, violations[0].metric.as_str()),
+            (ViolationKind::Drift, "models")
+        );
+    }
+
+    #[test]
+    fn missing_and_extra_metrics_are_flagged() {
+        let policy = GatePolicy::default();
+        let two = ExperimentReport::new(
+            "fig13",
+            ExperimentData::Fig13(vec![
+                Fig13Point {
+                    bench: Benchmark::Xz,
+                    budget_kb: 8,
+                    mpki_reduction_pct: 1.0,
+                    models: 1,
+                },
+                Fig13Point {
+                    bench: Benchmark::Xz,
+                    budget_kb: 32,
+                    mpki_reduction_pct: 2.0,
+                    models: 2,
+                },
+            ]),
+        );
+        let one = fig13(2.0, 2);
+        // Baseline has the 8KB row; fresh lost it.
+        let missing = diff_experiment(&two, &one, &policy);
+        assert_eq!(missing.len(), 2, "{missing:?}");
+        assert!(missing.iter().all(|v| v.kind == ViolationKind::MissingMetric));
+        assert!(missing.iter().all(|v| v.row == "xz@8KB"));
+        // Fresh grew a row the baseline does not vouch for.
+        let extra = diff_experiment(&one, &two, &policy);
+        assert_eq!(extra.len(), 2, "{extra:?}");
+        assert!(extra.iter().all(|v| v.kind == ViolationKind::ExtraMetric));
+    }
+
+    #[test]
+    fn text_artifacts_compare_exactly() {
+        let policy = GatePolicy::default();
+        let a = ExperimentReport::new("table1", ExperimentData::Text("a\nb\n".into()));
+        let b = ExperimentReport::new("table1", ExperimentData::Text("a\nc\n".into()));
+        assert!(diff_experiment(&a, &a.clone(), &policy).is_empty());
+        let violations = diff_experiment(&a, &b, &policy);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::TextDrift);
+        assert!(violations[0].detail.contains("line 2"), "{}", violations[0].detail);
+    }
+
+    #[test]
+    fn run_diff_flags_schema_scale_and_missing_experiments() {
+        let policy = GatePolicy::default();
+        let base = run_of(vec![fig01(1.0), fig13(10.0, 3)]);
+
+        let mut newer = base.clone();
+        newer.manifest.schema_version += 1;
+        let violations = diff_runs(&base, &newer, &policy);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].kind, ViolationKind::SchemaVersion);
+
+        let mut full = base.clone();
+        full.manifest.scale = "full".to_string();
+        assert_eq!(diff_runs(&base, &full, &policy)[0].kind, ViolationKind::ScaleMismatch);
+
+        let fresh = run_of(vec![fig01(1.0)]);
+        let violations = diff_runs(&base, &fresh, &policy);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(
+            (violations[0].kind, violations[0].experiment.as_str()),
+            (ViolationKind::MissingExperiment, "fig13")
+        );
+        let violations = diff_runs(&fresh, &base, &policy);
+        assert_eq!(
+            (violations[0].kind, violations[0].experiment.as_str()),
+            (ViolationKind::ExtraExperiment, "fig13")
+        );
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let policy = GatePolicy::default();
+        let base = run_of(vec![fig01(1.234567), fig13(10.0, 3)]);
+        assert!(diff_runs(&base, &base.clone(), &policy).is_empty());
+    }
+
+    #[test]
+    fn render_names_the_offender() {
+        let policy = GatePolicy::default();
+        let violations = diff_experiment(&fig01(3.0), &fig01(4.0), &policy);
+        let table = render_violations(&violations);
+        assert!(table.contains("fig01") && table.contains("mpki") && table.contains("drift"));
+    }
+}

@@ -1,0 +1,443 @@
+//! Minimal JSON support for machine-readable experiment reports.
+//!
+//! The workspace's `serde` is an offline vendored stub (annotations
+//! only, no serialization code), so the report layer carries its own
+//! small JSON value type, writer, and parser. Two properties matter
+//! more than generality:
+//!
+//! * **Determinism** — objects preserve insertion order and floats
+//!   print via Rust's shortest-round-trip `Display`, so the same
+//!   report always renders to the same bytes (the determinism CI job
+//!   diffs report files byte-for-byte across thread counts).
+//! * **Losslessness** — every `f64` parses back to the identical bits
+//!   and `u64` branch addresses travel as hex strings (a JSON number
+//!   would corrupt values above 2^53).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects keep insertion order so rendering is
+/// deterministic and diffs stay readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (non-finite values render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error from [`Json::parse`] or a [`FromJson`] conversion.
+pub type JsonError = String;
+
+/// Serialization into [`Json`].
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserialization out of [`Json`].
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, rejecting missing or mistyped fields.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs in order.
+    #[must_use]
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The field `key`, or an error naming the missing key.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    /// This value as a finite `f64`.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// This value as a non-negative integer.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        let n = self.as_f64()?;
+        if n.fract() == 0.0 && n >= 0.0 && n <= 2f64.powi(53) {
+            Ok(n as usize)
+        } else {
+            Err(format!("expected non-negative integer, got {n}"))
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// A `u64` stored as a hex string (`"0x1f"`), lossless above 2^53.
+    pub fn as_hex_u64(&self) -> Result<u64, JsonError> {
+        let s = self.as_str()?;
+        let digits = s.strip_prefix("0x").ok_or_else(|| format!("expected 0x-hex, got {s:?}"))?;
+        u64::from_str_radix(digits, 16).map_err(|e| format!("bad hex {s:?}: {e}"))
+    }
+
+    /// Wraps a `u64` as a hex string.
+    #[must_use]
+    pub fn hex(value: u64) -> Json {
+        Json::Str(format!("{value:#x}"))
+    }
+
+    /// Renders with 2-space indentation and a trailing newline.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // Rust's `Display` prints the shortest string that
+                    // parses back to the identical f64.
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset this writer emits, plus
+    /// standard escapes and exponent-form numbers).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+/// Serializes a slice element-wise into a JSON array.
+#[must_use]
+pub fn arr_to_json<T: ToJson>(items: &[T]) -> Json {
+    Json::Arr(items.iter().map(ToJson::to_json).collect())
+}
+
+/// Deserializes a JSON array element-wise.
+pub fn arr_from_json<T: FromJson>(json: &Json) -> Result<Vec<T>, JsonError> {
+    json.as_arr()?.iter().map(T::from_json).collect()
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\n' | b'\t' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Result<u8, JsonError> {
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other as char, self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while !matches!(self.peek()?, b'"' | b'\\') {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| format!("invalid utf-8 in string: {e}"))?,
+            );
+            if self.peek()? == b'"' {
+                self.pos += 1;
+                return Ok(out);
+            }
+            self.pos += 1; // backslash
+            match self.peek()? {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'n' => out.push('\n'),
+                b't' => out.push('\t'),
+                b'r' => out.push('\r'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'u' => {
+                    let hex = self
+                        .bytes
+                        .get(self.pos + 1..self.pos + 5)
+                        .ok_or_else(|| "truncated \\u escape".to_string())?;
+                    let code = u32::from_str_radix(
+                        std::str::from_utf8(hex).map_err(|e| format!("bad \\u escape: {e}"))?,
+                        16,
+                    )
+                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| format!("invalid code point {code:#x}"))?,
+                    );
+                    self.pos += 4;
+                }
+                other => return Err(format!("bad escape \\{:?}", other as char)),
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("expected , or }} got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip_preserves_structure() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("fig09".into())),
+            ("pi", Json::Num(std::f64::consts::PI)),
+            ("neg", Json::Num(-0.001)),
+            ("int", Json::Num(42.0)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            ("pc", Json::hex(0xFFFF_FFFF_FFFF_FFFF)),
+            ("rows", Json::Arr(vec![Json::Num(1.5), Json::Str("a\n\"b\\".into())])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).expect("parses");
+        assert_eq!(back, doc);
+        // Rendering is a fixed point: parse(render(x)).render() == render(x).
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1 + 0.2, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.2250738585072014e-308] {
+            let text = Json::Num(x).render();
+            let back = Json::parse(&text).expect("parses").as_f64().expect("number");
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} reprinted as {text}");
+        }
+    }
+
+    #[test]
+    fn hex_u64_is_lossless_above_2_to_53() {
+        let pc = (1u64 << 53) + 1;
+        let json = Json::hex(pc);
+        assert_eq!(json.as_hex_u64().expect("hex"), pc);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "{", "[1,", "\"unterminated", "nul", "1.2.3", "{}x"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_exponent_numbers() {
+        assert_eq!(Json::parse("1e3").expect("parses"), Json::Num(1000.0));
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+}

@@ -10,7 +10,10 @@
 
 pub mod cache;
 pub mod experiments;
+pub mod gate;
 pub mod harness;
+pub mod json;
 pub mod parallel;
+pub mod report;
 
 pub use harness::Scale;

@@ -80,6 +80,13 @@ impl Benchmark {
         }
     }
 
+    /// The benchmark with this [`name`](Benchmark::name), if any
+    /// (the inverse used by CLI tools and report deserialization).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        Benchmark::all().into_iter().find(|b| b.name() == name)
+    }
+
     /// Whether the paper reports a large BranchNet MPKI win here
     /// (used as a shape check in integration tests).
     #[must_use]

@@ -1,7 +1,18 @@
 #!/usr/bin/env bash
 # Local mirror of .github/workflows/ci.yml — run before pushing.
+#
+# The fidelity and determinism jobs re-run the whole quick reproduce
+# (once and twice respectively), which takes tens of minutes per run on
+# a laptop core, so they are opt-in locally: BRANCHNET_CI_FIDELITY=1
+# and/or BRANCHNET_CI_DETERMINISM=1.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+cleanup() { rm -rf "${fresh:-}" "${runs:-}"; }
+trap cleanup EXIT
+
+echo "== build (offline, locked) =="
+cargo build --offline --locked --workspace
 
 echo "== build (release) =="
 cargo build --release --workspace
@@ -14,5 +25,31 @@ cargo fmt --all --check
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${BRANCHNET_CI_FIDELITY:-0}" = "1" ]; then
+  echo "== fidelity gate =="
+  fresh="$(mktemp -d)"
+  BRANCHNET_SCALE=quick ./target/release/reproduce --json "$fresh/run" \
+    > "$fresh/reproduce_output.txt"
+  ./target/release/fidelity_gate "$fresh/run" --baseline baselines/quick
+  for f in baselines/quick/*.json; do
+    name="$(basename "$f")"
+    [ "$name" = manifest.json ] && continue
+    cmp "$f" "$fresh/run/$name"
+  done
+  sed -f scripts/normalize_output.sed reproduce_output.txt > "$fresh/committed.norm"
+  sed -f scripts/normalize_output.sed "$fresh/reproduce_output.txt" > "$fresh/fresh.norm"
+  diff -u "$fresh/committed.norm" "$fresh/fresh.norm"
+fi
+
+if [ "${BRANCHNET_CI_DETERMINISM:-0}" = "1" ]; then
+  echo "== thread determinism =="
+  runs="$(mktemp -d)"
+  BRANCHNET_SCALE=quick BRANCHNET_THREADS=1 \
+    ./target/release/reproduce --json "$runs/t1" > /dev/null
+  BRANCHNET_SCALE=quick BRANCHNET_THREADS=4 \
+    ./target/release/reproduce --json "$runs/t4" > /dev/null
+  diff -r -x manifest.json "$runs/t1" "$runs/t4"
+fi
 
 echo "CI checks passed."

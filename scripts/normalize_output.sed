@@ -1,0 +1,11 @@
+# Strips the run-dependent tokens from reproduce_output.txt — section
+# wall-clock, summary seconds, total time, thread fan-out, and cache
+# counters — so two runs of the same tree byte-compare equal. Used by
+# the CI baseline-staleness check; everything else in the output is
+# deterministic at any BRANCHNET_THREADS.
+s/| threads: [0-9][0-9]*/| threads: T/
+s/^\(=== .*\) \[[0-9][0-9]*s\] ===$/\1 [Ts] ===/
+s/ *[0-9][0-9]*\.[0-9]s$/ T.Ts/
+s/^Done in [0-9][0-9]*s\.$/Done in Ts./
+s/^cache: .*/cache: C/
+s/^json report: .*/json report: R/

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates the golden quick-scale baselines (baselines/quick/)
+# consumed by fidelity_gate, plus the human-readable
+# reproduce_output.txt, from the current tree.
+#
+# The experiment artifacts are byte-deterministic at any
+# BRANCHNET_THREADS (ordered-merge guarantee); the documented
+# regeneration config pins THREADS=2 to match CI. Commit the result in
+# the same PR as the change that moved the numbers — the fidelity gate
+# and the staleness check both fail until the baselines describe the
+# tree again.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export BRANCHNET_SCALE=quick
+export BRANCHNET_THREADS="${BRANCHNET_THREADS:-2}"
+
+cargo build --release -p branchnet-bench
+rm -rf baselines/quick
+./target/release/reproduce --json baselines/quick | tee reproduce_output.txt
+echo "Regenerated baselines/quick/ and reproduce_output.txt."
