@@ -5,7 +5,8 @@
 //! runs.)
 
 use branchnet_sim::{simulate, CpuConfig};
-use branchnet_tage::{evaluate, evaluate_per_branch, TageScL, TageSclConfig};
+use branchnet_tage::{TageScL, TageSclConfig};
+use branchnet_trace::{run_one as evaluate, run_one_per_branch as evaluate_per_branch};
 use branchnet_workloads::spec::{Benchmark, SpecSuite};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;

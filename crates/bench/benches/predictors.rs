@@ -9,7 +9,7 @@ use branchnet_core::engine::InferenceEngine;
 use branchnet_core::quantize::QuantizedMini;
 use branchnet_core::trainer::{train_model, TrainOptions};
 use branchnet_tage::{Bimodal, Gshare, HashedPerceptron, Predictor, TageScL, TageSclConfig};
-use branchnet_trace::Trace;
+use branchnet_trace::{Gauntlet, Trace};
 use branchnet_workloads::spec::{Benchmark, SpecSuite};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
@@ -67,6 +67,45 @@ fn bench_predictor_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// One decode pass with N gauntlet lanes versus N hand-rolled passes
+/// (`run_trace`) over the same predictors: the criterion behind moving
+/// every experiment onto the gauntlet. The win is the shared record
+/// decode and the cache locality of touching each record once.
+fn bench_single_pass_vs_n_pass(c: &mut Criterion) {
+    let trace = workload_trace(10_000);
+    let builders: Vec<Box<dyn Fn() -> Box<dyn Predictor>>> = vec![
+        Box::new(|| Box::new(Bimodal::new(13, 2))),
+        Box::new(|| Box::new(Gshare::new(14, 12))),
+        Box::new(|| Box::new(HashedPerceptron::default_config())),
+        Box::new(|| Box::new(TageScL::new(&TageSclConfig::tage_sc_l_64kb()))),
+    ];
+
+    let mut group = c.benchmark_group("multi-predictor");
+    group.throughput(Throughput::Elements((trace.len() * builders.len()) as u64));
+    group.bench_function("n-pass/4-predictors", |b| {
+        b.iter(|| {
+            let mut wrong = 0u64;
+            for make in &builders {
+                let mut p = make();
+                wrong += run_trace(p.as_mut(), &trace);
+            }
+            black_box(wrong)
+        });
+    });
+    group.bench_function("gauntlet/4-lanes", |b| {
+        b.iter(|| {
+            let mut gauntlet = Gauntlet::new();
+            for make in &builders {
+                gauntlet.add_boxed(make());
+            }
+            gauntlet.run(&trace);
+            let wrong: f64 = gauntlet.finish().iter().map(|r| r.stats.mispredictions()).sum();
+            black_box(wrong)
+        });
+    });
+    group.finish();
+}
+
 fn trained_engine() -> InferenceEngine {
     let traces = SpecSuite::benchmark(Benchmark::Leela).trace_set(10_000);
     let cfg = BranchNetConfig::mini_1kb();
@@ -107,5 +146,10 @@ fn bench_engine_datapath(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_predictor_throughput, bench_engine_datapath);
+criterion_group!(
+    benches,
+    bench_predictor_throughput,
+    bench_single_pass_vs_n_pass,
+    bench_engine_datapath
+);
 criterion_main!(benches);

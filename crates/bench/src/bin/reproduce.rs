@@ -10,8 +10,11 @@
 
 use branchnet_bench::cache::ArtifactCache;
 use branchnet_bench::experiments::*;
+use branchnet_bench::metrics;
 use branchnet_bench::parallel::thread_count;
-use branchnet_bench::report::{self, ExperimentData, ExperimentReport, RunManifest, SectionTime};
+use branchnet_bench::report::{
+    self, ExperimentData, ExperimentReport, GauntletUsage, RunManifest, SectionTime,
+};
 use branchnet_bench::Scale;
 use branchnet_tage::TageSclConfig;
 use branchnet_workloads::spec::Benchmark;
@@ -55,14 +58,19 @@ fn main() {
     };
     let t0 = std::time::Instant::now();
     let mut last = std::time::Instant::now();
-    let mut section_times: Vec<(String, f64)> = Vec::new();
+    let mut last_gauntlet = metrics::snapshot();
+    let mut section_times: Vec<SectionTime> = Vec::new();
     let mut section = |name: &str| {
-        // Credit the elapsed interval to the section that just ended.
-        if let Some((_, secs)) = section_times.last_mut() {
-            *secs = last.elapsed().as_secs_f64();
+        // Credit the elapsed interval (and the gauntlet passes that ran
+        // during it) to the section that just ended.
+        let now_gauntlet = metrics::snapshot();
+        if let Some(prev) = section_times.last_mut() {
+            prev.seconds = last.elapsed().as_secs_f64();
+            prev.gauntlet = GauntletUsage::from_delta(&now_gauntlet.since(&last_gauntlet));
         }
         last = std::time::Instant::now();
-        section_times.push((name.to_string(), 0.0));
+        last_gauntlet = now_gauntlet;
+        section_times.push(SectionTime { name: name.to_string(), seconds: 0.0, gauntlet: None });
         println!("\n=== {name} [{:.0}s] ===", t0.elapsed().as_secs_f64());
     };
     let mut artifacts: Vec<String> = Vec::new();
@@ -158,22 +166,26 @@ fn main() {
     print!("{}", mini_pack::render_packs(&packs));
     emit(json_dir.as_ref(), &mut artifacts, "mini_pack", ExperimentData::MiniPack(packs));
 
-    if let Some((_, secs)) = section_times.last_mut() {
-        *secs = last.elapsed().as_secs_f64();
+    if let Some(prev) = section_times.last_mut() {
+        prev.seconds = last.elapsed().as_secs_f64();
+        prev.gauntlet = GauntletUsage::from_delta(&metrics::snapshot().since(&last_gauntlet));
     }
     println!("\n=== Summary ===");
-    for (name, secs) in &section_times {
-        println!("{name:<10} {secs:>7.1}s");
+    for s in &section_times {
+        match &s.gauntlet {
+            Some(g) => println!(
+                "{:<10} {:>7.1}s  [gauntlet: {} passes carrying {} lane-walks, {}ms]",
+                s.name, s.seconds, g.passes, g.lanes, g.millis
+            ),
+            None => println!("{:<10} {:>7.1}s", s.name, s.seconds),
+        }
     }
     println!("cache: {}", ArtifactCache::global().stats().summary());
 
     if let Some(dir) = json_dir.as_ref() {
         let mut manifest = RunManifest::new(&scale, thread_count());
         manifest.artifacts = artifacts;
-        manifest.sections = section_times
-            .iter()
-            .map(|(name, secs)| SectionTime { name: name.clone(), seconds: *secs })
-            .collect();
+        manifest.sections = section_times;
         manifest.cache = ArtifactCache::global().stats();
         std::fs::create_dir_all(dir).expect("creating --json directory");
         std::fs::write(dir.join(report::MANIFEST_FILE), {

@@ -10,8 +10,8 @@
 //! runs can be captured once and re-analyzed offline — the workflow
 //! the paper's training infrastructure is built around.
 
-use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
-use branchnet_trace::{load_trace, save_trace};
+use branchnet_tage::{TageScL, TageSclConfig};
+use branchnet_trace::{load_trace, run_one_per_branch, save_trace};
 use branchnet_workloads::spec::{Benchmark, SpecSuite};
 use std::path::Path;
 use std::process::ExitCode;
@@ -97,7 +97,7 @@ fn main() -> ExitCode {
             };
             let k = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
             let mut p = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
-            let stats = evaluate_per_branch(&mut p, &trace);
+            let stats = run_one_per_branch(&mut p, &trace);
             println!("top {k} mispredicting branches under 64KB TAGE-SC-L:");
             println!("{:<14} {:>12} {:>10} {:>12}", "pc", "occurrences", "accuracy", "mispredicts");
             for (pc, s) in stats.rank_by_mispredictions().entries().iter().take(k) {

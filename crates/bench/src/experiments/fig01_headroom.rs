@@ -11,8 +11,8 @@ use crate::harness::{trace_set, Scale};
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
 use crate::report::{bench_from_json, bench_to_json};
-use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
-use branchnet_trace::BranchStats;
+use branchnet_tage::{TageScL, TageSclConfig};
+use branchnet_trace::Gauntlet;
 use branchnet_workloads::spec::Benchmark;
 
 /// One benchmark's bar in Fig. 1.
@@ -60,11 +60,18 @@ pub fn run(scale: &Scale) -> Vec<Fig01Row> {
     let baseline = TageSclConfig::tage_sc_l_64kb();
     parallel_map(&Benchmark::all(), |&bench| {
         let traces = trace_set(bench, scale);
-        let mut stats = BranchStats::new();
+        let mut gauntlet = Gauntlet::new();
+        let lane = gauntlet.add_tracked(TageScL::new(&baseline));
         for t in &traces.test {
-            let mut p = TageScL::new(&baseline);
-            stats.merge(&evaluate_per_branch(&mut p, t));
+            gauntlet.run(t);
+            // Cold predictor per trace, as per-SimPoint evaluation.
+            gauntlet.flush();
         }
+        let stats = gauntlet
+            .finish()
+            .swap_remove(lane)
+            .branch_stats
+            .expect("tracked lane collects per-branch stats");
         let ranking = stats.rank_by_mispredictions();
         Fig01Row {
             bench,

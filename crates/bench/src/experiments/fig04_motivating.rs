@@ -16,7 +16,8 @@ use branchnet_core::config::BranchNetConfig;
 use branchnet_core::dataset::extract;
 use branchnet_core::model::BranchNetModel;
 use branchnet_core::trainer::{evaluate_accuracy, train_model};
-use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
+use branchnet_tage::{TageScL, TageSclConfig};
+use branchnet_trace::run_one_per_branch;
 use branchnet_workloads::motivating::{MotivatingConfig, MotivatingWorkload, PC_B};
 
 /// Accuracy of each predictor on branch B at one α point.
@@ -110,7 +111,7 @@ pub fn run(scale: &Scale) -> Vec<Fig04Point> {
         let w = MotivatingWorkload::new(MotivatingConfig::fig4_test(alpha));
         let trace = w.generate(0xE0 + (alpha * 10.0) as u64, scale.branches_per_trace);
         let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
-        let stats = evaluate_per_branch(&mut tage, &trace);
+        let stats = run_one_per_branch(&mut tage, &trace);
         let tage_acc = stats.get(PC_B).map_or(1.0, |s| s.accuracy());
         let ds = extract(&[trace], PC_B, cfg.window_len(), cfg.pc_bits);
         let mut cnn = [0.0; 3];

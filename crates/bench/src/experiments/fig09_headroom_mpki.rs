@@ -2,7 +2,9 @@
 //! CBP2016 winner stand-in), MTAGE-SC + Big-BranchNet, and MTAGE-SC
 //! component ablations, per benchmark.
 
-use crate::harness::{baseline_mpki, cached_pack, hybrid_mpki_float, trace_set, Scale};
+use crate::harness::{
+    baseline_lane, cached_pack, float_hybrid, gauntlet_test_stats, hybrid_lane, trace_set, Scale,
+};
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
 use crate::report::{bench_from_json, bench_to_json};
@@ -70,24 +72,30 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark]) -> Vec<Fig09Row> {
     let mtage = TageSclConfig::mtage_sc_unlimited();
     parallel_map(benchmarks, |&bench| {
         let traces = trace_set(bench, scale);
-        let tage64 = baseline_mpki(&TageSclConfig::tage_sc_l_64kb(), &traces);
-        let mtage_mpki = baseline_mpki(&mtage, &traces);
-        let gtage = baseline_mpki(&mtage.clone().gtage_only(), &traces);
-        let no_local = baseline_mpki(&mtage.clone().without_sc_local(), &traces);
-
         // Big-BranchNet on top of MTAGE-SC (trained once per process;
         // Fig. 10 reuses the same pack).
         let pack = cached_pack(&big_config(), &mtage, bench, scale);
         let improved = pack.models.len();
-        let plus_big = hybrid_mpki_float(&pack, &mtage, &traces, usize::MAX);
+        let hybrid = float_hybrid(&pack, &mtage, usize::MAX);
+
+        // All five bars ride one gauntlet: each test trace is decoded
+        // once and scores every configuration simultaneously.
+        let lanes = [
+            baseline_lane(&TageSclConfig::tage_sc_l_64kb()),
+            baseline_lane(&mtage),
+            baseline_lane(&mtage.clone().gtage_only()),
+            baseline_lane(&mtage.clone().without_sc_local()),
+            hybrid_lane(&hybrid),
+        ];
+        let stats = gauntlet_test_stats(&traces, &lanes);
 
         Fig09Row {
             bench,
-            tage_sc_l_64kb: tage64,
-            mtage_sc: mtage_mpki,
-            mtage_plus_big: plus_big,
-            gtage_only: gtage,
-            no_sc_local: no_local,
+            tage_sc_l_64kb: stats[0].mpki(),
+            mtage_sc: stats[1].mpki(),
+            mtage_plus_big: stats[4].mpki(),
+            gtage_only: stats[2].mpki(),
+            no_sc_local: stats[3].mpki(),
             improved_branches: improved,
         }
     })

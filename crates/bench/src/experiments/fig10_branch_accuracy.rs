@@ -7,8 +7,8 @@ use crate::json::{arr_from_json, arr_to_json, FromJson, Json, JsonError, ToJson}
 use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::dataset::extract;
 use branchnet_core::trainer::evaluate_accuracy;
-use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
-use branchnet_trace::BranchStats;
+use branchnet_tage::{TageScL, TageSclConfig};
+use branchnet_trace::Gauntlet;
 use branchnet_workloads::spec::Benchmark;
 
 /// One branch's pair of bars.
@@ -80,12 +80,19 @@ pub fn run(scale: &Scale, bench: Benchmark, top: usize) -> Fig10Result {
     // Shared with Fig. 9: same (config, baseline, bench, scale) key.
     let pack = cached_pack(&cfg, &mtage, bench, scale);
 
-    // Test-set baseline per-branch accuracy.
-    let mut test_stats = BranchStats::new();
+    // Test-set baseline per-branch accuracy (cold predictor per trace,
+    // via a single tracked gauntlet lane).
+    let mut gauntlet = Gauntlet::new();
+    let lane = gauntlet.add_tracked(TageScL::new(&mtage));
     for t in &traces.test {
-        let mut p = TageScL::new(&mtage);
-        test_stats.merge(&evaluate_per_branch(&mut p, t));
+        gauntlet.run(t);
+        gauntlet.flush();
     }
+    let test_stats = gauntlet
+        .finish()
+        .swap_remove(lane)
+        .branch_stats
+        .expect("tracked lane collects per-branch stats");
 
     let rows = pack
         .models

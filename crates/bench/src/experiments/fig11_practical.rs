@@ -8,17 +8,18 @@
 //! * **Tarsa-Float** and **Tarsa-Ternary** (prior-work CNNs).
 
 use crate::experiments::mini_pack::{build_mini_pack, build_pack_with_menu, MiniPack};
-use crate::harness::{cached_pack, float_hybrid, hybrid_test_mpki, test_stats, trace_set, Scale};
+use crate::harness::{cached_pack, float_hybrid, trace_set, Scale};
 use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::metrics;
 use crate::parallel::parallel_map;
 use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::engine::InferenceEngine;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet_core::storage::storage_breakdown;
-use branchnet_sim::{simulate, CpuConfig};
+use branchnet_sim::{simulate_many, CpuConfig, DirectionSource, SimResult};
 use branchnet_tage::{TageScL, TageSclConfig};
-use branchnet_trace::{Trace, TraceSet};
+use branchnet_trace::{PredictionStats, Trace, TraceSet};
 use branchnet_workloads::spec::Benchmark;
 
 /// MPKI and IPC for one setting on one benchmark.
@@ -90,29 +91,30 @@ impl FromJson for Fig11Row {
     }
 }
 
-fn evaluate_setting(hybrid: &HybridPredictor, traces: &TraceSet, cpu: &CpuConfig) -> Setting {
-    let mpki = hybrid_test_mpki(hybrid, traces);
-    let runs = parallel_map(&traces.test, |t: &Trace| {
-        let mut h = hybrid.fresh_runtime_clone();
-        simulate(t, &mut h, cpu)
-    });
-    let cycles: u64 = runs.iter().map(|r| r.cycles).sum();
-    let insts: u64 = runs.iter().map(|r| r.instructions).sum();
-    Setting { mpki, ipc: insts as f64 / cycles.max(1) as f64 }
-}
-
-fn baseline_setting(cfg: &TageSclConfig, traces: &TraceSet, cpu: &CpuConfig) -> Setting {
-    let mpki = {
-        let cfg = cfg.clone();
-        test_stats(traces, || Box::new(TageScL::new(&cfg))).mpki()
-    };
-    let runs = parallel_map(&traces.test, |t: &Trace| {
-        let mut p = TageScL::new(cfg);
-        simulate(t, &mut p, cpu)
-    });
-    let cycles: u64 = runs.iter().map(|r| r.cycles).sum();
-    let insts: u64 = runs.iter().map(|r| r.instructions).sum();
-    Setting { mpki, ipc: insts as f64 / cycles.max(1) as f64 }
+/// One lane's [`Setting`] out of the per-trace multi-lane sim results.
+///
+/// The timing model drives its late predictor through exactly the
+/// prediction/update sequence of a trace evaluation, so MPKI is
+/// derived from each trace's `SimResult` counters
+/// (via [`PredictionStats::from_counts`], merged weighted in trace
+/// order) — byte-identical to a separate `hybrid_test_mpki` walk,
+/// without paying for one. IPC stays an exact integer aggregate.
+fn lane_setting(results: &[Vec<SimResult>], traces: &TraceSet, lane: usize) -> Setting {
+    let mut agg = PredictionStats::new();
+    for (per_lane, t) in results.iter().zip(&traces.test) {
+        let r = &per_lane[lane];
+        agg.merge_weighted(
+            &PredictionStats::from_counts(
+                r.branches as f64,
+                r.mispredictions as f64,
+                r.instructions as f64,
+            ),
+            t.weight(),
+        );
+    }
+    let cycles: u64 = results.iter().map(|p| p[lane].cycles).sum();
+    let insts: u64 = results.iter().map(|p| p[lane].instructions).sum();
+    Setting { mpki: agg.mpki(), ipc: insts as f64 / cycles.max(1) as f64 }
 }
 
 fn engine_hybrid(pack: &MiniPack, baseline: &TageSclConfig) -> HybridPredictor {
@@ -133,26 +135,24 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark]) -> Vec<Fig11Row> {
 
     parallel_map(benchmarks, |&bench| {
         let traces = trace_set(bench, scale);
-        let base = baseline_setting(&base64, &traces, &cpu);
 
         // iso-storage: 8 KB of engines on a 56 KB baseline.
         let pack8 = build_mini_pack(bench, &base56, scale, 8 * 1024);
-        let iso_storage = evaluate_setting(&engine_hybrid(&pack8, &base56), &traces, &cpu);
+        let iso_storage_h = engine_hybrid(&pack8, &base56);
 
         // iso-latency: 32 KB of engines on the 64 KB baseline (same
         // menu as iso-storage only when the baselines match, so the
         // two settings train separate menus as before).
         let pack32 = build_mini_pack(bench, &base64, scale, 32 * 1024);
-        let iso_latency = evaluate_setting(&engine_hybrid(&pack32, &base64), &traces, &cpu);
+        let iso_latency_h = engine_hybrid(&pack32, &base64);
 
         // Big-BranchNet float headroom.
         let big_pack = cached_pack(&BranchNetConfig::big_scaled(), &base64, bench, scale);
-        let big = evaluate_setting(&float_hybrid(&big_pack, &base64, usize::MAX), &traces, &cpu);
+        let big_h = float_hybrid(&big_pack, &base64, usize::MAX);
 
         // Tarsa-Float.
         let tf_pack = cached_pack(&BranchNetConfig::tarsa_float(), &base64, bench, scale);
-        let tarsa_float =
-            evaluate_setting(&float_hybrid(&tf_pack, &base64, usize::MAX), &traces, &cpu);
+        let tf_h = float_hybrid(&tf_pack, &base64, usize::MAX);
 
         // Tarsa-Ternary: one config, up to 29 branches at
         // 5.125 KB/branch in the paper; we budget accordingly.
@@ -160,9 +160,36 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark]) -> Vec<Fig11Row> {
         let ternary_bytes = (storage_breakdown(&ternary_cfg).total_bits() / 8) as usize;
         let menu = vec![(ternary_cfg, ternary_bytes)];
         let packt = build_pack_with_menu(bench, &base64, scale, 29 * ternary_bytes, &menu);
-        let tarsa_ternary = evaluate_setting(&engine_hybrid(&packt, &base64), &traces, &cpu);
+        let tt_h = engine_hybrid(&packt, &base64);
 
-        Fig11Row { bench, base, iso_storage, iso_latency, big, tarsa_float, tarsa_ternary }
+        // All six settings share one timing pass per test trace: the
+        // baseline and five cold hybrid clones ride the same decode
+        // behind one shared early predictor.
+        let hybrids = [&iso_storage_h, &iso_latency_h, &big_h, &tf_h, &tt_h];
+        let results: Vec<Vec<SimResult>> = parallel_map(&traces.test, |t: &Trace| {
+            let start = std::time::Instant::now();
+            let mut base = TageScL::new(&base64);
+            let mut clones: Vec<HybridPredictor> =
+                hybrids.iter().map(|h| h.fresh_runtime_clone()).collect();
+            let mut lanes: Vec<&mut dyn DirectionSource> = Vec::with_capacity(1 + clones.len());
+            lanes.push(&mut base);
+            for h in &mut clones {
+                lanes.push(h);
+            }
+            let out = simulate_many(t, &mut lanes, &cpu);
+            metrics::record_pass(out.len(), start.elapsed());
+            out
+        });
+
+        Fig11Row {
+            bench,
+            base: lane_setting(&results, &traces, 0),
+            iso_storage: lane_setting(&results, &traces, 1),
+            iso_latency: lane_setting(&results, &traces, 2),
+            big: lane_setting(&results, &traces, 3),
+            tarsa_float: lane_setting(&results, &traces, 4),
+            tarsa_ternary: lane_setting(&results, &traces, 5),
+        }
     })
 }
 

@@ -5,7 +5,9 @@
 //! reproduction sweeps the per-branch training-example budget, which
 //! is the same lever (examples scale linearly with trace count).
 
-use crate::harness::{baseline_mpki, cached_pack, hybrid_mpki_float, trace_set, Scale};
+use crate::harness::{
+    baseline_lane, cached_pack, float_hybrid, gauntlet_test_stats, hybrid_lane, trace_set, Scale,
+};
 use crate::json::{arr_from_json, arr_to_json, FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
 use crate::report::{bench_from_json, bench_to_json};
@@ -70,12 +72,11 @@ impl FromJson for Fig12Sweep {
 pub fn run(scale: &Scale, bench: Benchmark) -> Vec<Fig12Point> {
     let baseline = TageSclConfig::tage_sc_l_64kb();
     let traces = trace_set(bench, scale);
-    let base = baseline_mpki(&baseline, &traces);
     // Each point trains a distinct pack (the per-point scale differs
     // in `max_examples`, so the cache keys differ), but all points
     // share the one trace set because the trace cache keys on
-    // `branches_per_trace` alone.
-    parallel_map(
+    // `branches_per_trace` alone. Training fans out in parallel...
+    let packs = parallel_map(
         &[
             scale.max_examples / 8,
             scale.max_examples / 4,
@@ -85,14 +86,28 @@ pub fn run(scale: &Scale, bench: Benchmark) -> Vec<Fig12Point> {
         |&examples| {
             let mut s = *scale;
             s.max_examples = examples.max(50);
-            let pack = cached_pack(&BranchNetConfig::big_scaled(), &baseline, bench, &s);
-            let mpki = hybrid_mpki_float(&pack, &baseline, &traces, usize::MAX);
+            (s.max_examples, cached_pack(&BranchNetConfig::big_scaled(), &baseline, bench, &s))
+        },
+    );
+    // ...and then the baseline plus all four hybrids ride one gauntlet
+    // pass over the test traces.
+    let hybrids: Vec<_> =
+        packs.iter().map(|(_, pack)| float_hybrid(pack, &baseline, usize::MAX)).collect();
+    let mut lanes = vec![baseline_lane(&baseline)];
+    lanes.extend(hybrids.iter().map(hybrid_lane));
+    let stats = gauntlet_test_stats(&traces, &lanes);
+    let base = stats[0].mpki();
+    packs
+        .iter()
+        .zip(&stats[1..])
+        .map(|(&(examples, _), s)| {
+            let mpki = s.mpki();
             Fig12Point {
-                examples: s.max_examples,
+                examples,
                 mpki_reduction_pct: if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 },
             }
-        },
-    )
+        })
+        .collect()
 }
 
 /// Paper-style rendering.

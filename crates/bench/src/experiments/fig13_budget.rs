@@ -2,7 +2,7 @@
 //! storage budget (8 / 16 / 32 / 64 KB packs on the 64 KB baseline).
 
 use crate::experiments::mini_pack::{cached_menu, pack_from_menu};
-use crate::harness::{baseline_mpki, hybrid_test_mpki, trace_set, Scale};
+use crate::harness::{baseline_lane, gauntlet_test_stats, hybrid_lane, trace_set, Scale};
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
 use crate::report::{bench_from_json, bench_to_json};
@@ -53,11 +53,10 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark], budgets_kb: &[usize]) -> Vec
     let baseline = TageSclConfig::tage_sc_l_64kb().without_sc_local();
     let per_bench = parallel_map(benchmarks, |&bench| {
         let traces = trace_set(bench, scale);
-        let base = baseline_mpki(&baseline, &traces);
         // One trained menu serves every budget point: only the cheap
         // knapsack re-runs per budget.
         let menu = cached_menu(bench, &baseline, scale, &BranchNetConfig::mini_menu());
-        budgets_kb
+        let hybrids: Vec<(usize, usize, HybridPredictor)> = budgets_kb
             .iter()
             .map(|&kb| {
                 let pack = pack_from_menu(&menu, kb * 1024);
@@ -66,7 +65,20 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark], budgets_kb: &[usize]) -> Vec
                 for (pc, q) in pack.models {
                     hybrid.attach(pc, AttachedModel::Engine(InferenceEngine::new(q)));
                 }
-                let mpki = hybrid_test_mpki(&hybrid, &traces);
+                (kb, models, hybrid)
+            })
+            .collect();
+        // The baseline and every budget point share one gauntlet pass
+        // per test trace.
+        let mut lanes = vec![baseline_lane(&baseline)];
+        lanes.extend(hybrids.iter().map(|(_, _, h)| hybrid_lane(h)));
+        let stats = gauntlet_test_stats(&traces, &lanes);
+        let base = stats[0].mpki();
+        hybrids
+            .iter()
+            .zip(&stats[1..])
+            .map(|(&(kb, models, _), s)| {
+                let mpki = s.mpki();
                 Fig13Point {
                     bench,
                     budget_kb: kb,

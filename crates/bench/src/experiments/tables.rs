@@ -6,7 +6,9 @@
 //! * Table IV — leela's MPKI-reduction ladder from Big-BranchNet down
 //!   to fully-quantized Mini-BranchNet (measured).
 
-use crate::harness::{baseline_mpki, cached_pack, hybrid_test_mpki, trace_set, Scale};
+use crate::harness::{
+    baseline_lane, cached_pack, gauntlet_test_stats, hybrid_lane, trace_set, Scale,
+};
 use crate::json::{arr_from_json, arr_to_json, FromJson, Json, JsonError, ToJson};
 use crate::report::{bench_from_json, bench_to_json};
 use branchnet_core::config::BranchNetConfig;
@@ -158,17 +160,14 @@ impl FromJson for Table4Report {
 pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
     let baseline = TageSclConfig::tage_sc_l_64kb().without_sc_local();
     let traces = trace_set(bench, scale);
-    let base = baseline_mpki(&baseline, &traces);
-    let reduction = |mpki: f64| if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 };
 
     // Rung 1: Big-BranchNet, no capacity limit. Rung 2 reuses the
     // same cached pack (the serial version trained it twice).
     let big_pack = cached_pack(&BranchNetConfig::big_scaled(), &baseline, bench, scale);
-    let mut hybrid = HybridPredictor::new(&baseline);
+    let mut big_hybrid = HybridPredictor::new(&baseline);
     for (r, m) in &big_pack.models {
-        hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
+        big_hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
     }
-    let big_all = reduction(hybrid_test_mpki(&hybrid, &traces));
 
     // Mini models (2 KB config) for the same branches.
     let mini_cfg = BranchNetConfig::mini_2kb();
@@ -176,15 +175,12 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
     let mini_pcs: Vec<u64> = mini_pack.models.iter().map(|(r, _)| r.pc).collect();
 
     // Rung 2: Big restricted to the branches Mini covers.
-    let big_same = {
-        let mut hybrid = HybridPredictor::new(&baseline);
-        for (r, m) in &big_pack.models {
-            if mini_pcs.contains(&r.pc) {
-                hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
-            }
+    let mut big_same_hybrid = HybridPredictor::new(&baseline);
+    for (r, m) in &big_pack.models {
+        if mini_pcs.contains(&r.pc) {
+            big_same_hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
         }
-        reduction(hybrid_test_mpki(&hybrid, &traces))
-    };
+    }
 
     // Rungs 3–5 share the same trained Mini float models.
     let mut float_hybrid = HybridPredictor::new(&baseline);
@@ -196,19 +192,36 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
         full_hybrid.attach(r.pc, AttachedModel::Engine(InferenceEngine::new(quant)));
         float_hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
     }
-    let mini_float = reduction(hybrid_test_mpki(&float_hybrid, &traces));
-    let mini_conv = reduction(hybrid_test_mpki(&conv_hybrid, &traces));
-    let mini_full = reduction(hybrid_test_mpki(&full_hybrid, &traces));
 
-    let row =
-        |label: &str, pct: f64| Table4Row { label: label.to_string(), mpki_reduction_pct: pct };
-    vec![
-        row("Big-BranchNet: no branch capacity limit", big_all),
-        row("Big-BranchNet: same branches as Mini", big_same),
-        row("Mini-BranchNet: floating-point", mini_float),
-        row("Mini-BranchNet: quantized convolution", mini_conv),
-        row("Mini-BranchNet: fully-quantized", mini_full),
-    ]
+    // The baseline and all five rungs share one gauntlet pass per test
+    // trace.
+    let lanes = [
+        baseline_lane(&baseline),
+        hybrid_lane(&big_hybrid),
+        hybrid_lane(&big_same_hybrid),
+        hybrid_lane(&float_hybrid),
+        hybrid_lane(&conv_hybrid),
+        hybrid_lane(&full_hybrid),
+    ];
+    let stats = gauntlet_test_stats(&traces, &lanes);
+    let base = stats[0].mpki();
+    let reduction = |mpki: f64| if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 };
+
+    let labels = [
+        "Big-BranchNet: no branch capacity limit",
+        "Big-BranchNet: same branches as Mini",
+        "Mini-BranchNet: floating-point",
+        "Mini-BranchNet: quantized convolution",
+        "Mini-BranchNet: fully-quantized",
+    ];
+    labels
+        .iter()
+        .zip(&stats[1..])
+        .map(|(label, s)| Table4Row {
+            label: (*label).to_string(),
+            mpki_reduction_pct: reduction(s.mpki()),
+        })
+        .collect()
 }
 
 /// Paper-style rendering of Table IV.

@@ -1,13 +1,14 @@
 //! Shared experiment plumbing.
 
 use crate::cache::ArtifactCache;
+use crate::metrics;
 use crate::parallel::parallel_map;
 use branchnet_core::config::BranchNetConfig;
 use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet_core::selection::{offline_train, CandidateResult, PipelineOptions};
 use branchnet_core::trainer::TrainOptions;
-use branchnet_tage::{evaluate, Predictor, TageScL, TageSclConfig};
-use branchnet_trace::{PredictionStats, Trace, TraceSet};
+use branchnet_tage::{TageScL, TageSclConfig};
+use branchnet_trace::{Gauntlet, PredictionStats, Predictor, Trace, TraceSet};
 use branchnet_workloads::spec::{Benchmark, SpecSuite};
 use std::sync::Arc;
 
@@ -102,30 +103,73 @@ pub fn trace_set(bench: Benchmark, scale: &Scale) -> Arc<TraceSet> {
     })
 }
 
-/// Weighted test-set statistics of a predictor built fresh per trace
-/// (per-SimPoint cold-start evaluation, as in the paper). Traces are
-/// evaluated in parallel; results are merged in trace order, so the
-/// numbers match the serial loop exactly.
-pub fn test_stats<F>(traces: &TraceSet, build: F) -> PredictionStats
-where
-    F: Fn() -> Box<dyn Predictor> + Sync,
-{
+/// A factory for one gauntlet lane: called once per test trace to
+/// produce the cold predictor that lane evaluates on that trace
+/// (per-SimPoint cold-start evaluation, as in the paper).
+pub type LaneBuilder<'a> = Box<dyn Fn() -> Box<dyn Predictor + 'a> + Sync + 'a>;
+
+/// A lane evaluating a fresh TAGE-SC-L built from `cfg`. (The lane
+/// owns a clone of the config; `'a` is free so it can sit in one slice
+/// with borrowing lanes like [`hybrid_lane`].)
+#[must_use]
+pub fn baseline_lane<'a>(cfg: &TageSclConfig) -> LaneBuilder<'a> {
+    let cfg = cfg.clone();
+    Box::new(move || -> Box<dyn Predictor + 'a> { Box::new(TageScL::new(&cfg)) })
+}
+
+/// A lane evaluating a cold
+/// [`HybridPredictor::fresh_runtime_clone`] of `hybrid` per trace: the
+/// runtime state resets, the frozen CNN weights are shared, exactly
+/// like deployed BranchNet models (Section V-E).
+#[must_use]
+pub fn hybrid_lane<'a>(hybrid: &'a HybridPredictor) -> LaneBuilder<'a> {
+    Box::new(move || Box::new(hybrid.fresh_runtime_clone()))
+}
+
+/// Weighted test-set statistics for every lane at once, in lane order.
+///
+/// Each test trace is decoded exactly once: a [`Gauntlet`] drives all
+/// lanes' cold predictors over it in a single pass. Traces run in
+/// parallel and per-lane results merge in trace order, so each lane's
+/// numbers are byte-identical to a serial one-predictor-at-a-time
+/// loop.
+pub fn gauntlet_test_stats(traces: &TraceSet, lanes: &[LaneBuilder<'_>]) -> Vec<PredictionStats> {
     let per_trace = parallel_map(&traces.test, |t: &Trace| {
-        let mut p = build();
-        evaluate(p.as_mut(), t)
+        let start = std::time::Instant::now();
+        let mut gauntlet = Gauntlet::new();
+        for lane in lanes {
+            gauntlet.add_boxed(lane());
+        }
+        gauntlet.run(t);
+        metrics::record_pass(lanes.len(), start.elapsed());
+        gauntlet.finish().into_iter().map(|r| r.stats).collect::<Vec<_>>()
     });
-    let mut agg = PredictionStats::new();
-    for (stats, t) in per_trace.iter().zip(&traces.test) {
-        agg.merge_weighted(stats, t.weight());
+    let mut agg = vec![PredictionStats::new(); lanes.len()];
+    for (per_lane, t) in per_trace.iter().zip(&traces.test) {
+        for (lane_agg, stats) in agg.iter_mut().zip(per_lane) {
+            lane_agg.merge_weighted(stats, t.weight());
+        }
     }
     agg
+}
+
+/// Weighted test-set statistics of a predictor built fresh per trace.
+/// Single-lane convenience over [`gauntlet_test_stats`].
+pub fn test_stats<'a, F>(traces: &TraceSet, build: F) -> PredictionStats
+where
+    F: Fn() -> Box<dyn Predictor> + Sync + 'a,
+{
+    // Re-wrap so the closure's return type names `'a` (a
+    // `dyn Fn() -> Box<dyn Predictor + 'static>` object does not
+    // coerce to one returning the shorter lifetime).
+    let lanes: [LaneBuilder<'a>; 1] = [Box::new(move || -> Box<dyn Predictor + 'a> { build() })];
+    gauntlet_test_stats(traces, &lanes).pop().expect("one lane in, one result out")
 }
 
 /// MPKI of a TAGE-SC-L configuration on the test traces.
 #[must_use]
 pub fn baseline_mpki(cfg: &TageSclConfig, traces: &TraceSet) -> f64 {
-    let cfg = cfg.clone();
-    test_stats(traces, || Box::new(TageScL::new(&cfg))).mpki()
+    gauntlet_test_stats(traces, &[baseline_lane(cfg)])[0].mpki()
 }
 
 /// A trained model pack for one benchmark: the per-branch float models
@@ -188,22 +232,11 @@ pub fn hybrid_mpki_float(
     hybrid_test_mpki(&float_hybrid(pack, baseline, limit), traces)
 }
 
-/// Weighted test MPKI of an already-assembled hybrid. Each trace is
-/// evaluated on a cold [`HybridPredictor::fresh_runtime_clone`] (in
-/// parallel), which is equivalent to the serial
-/// reset-then-evaluate-per-trace loop; results are merged in trace
-/// order.
+/// Weighted test MPKI of an already-assembled hybrid: a single
+/// [`hybrid_lane`] through [`gauntlet_test_stats`].
 #[must_use]
 pub fn hybrid_test_mpki(hybrid: &HybridPredictor, traces: &TraceSet) -> f64 {
-    let per_trace = parallel_map(&traces.test, |t: &Trace| {
-        let mut h = hybrid.fresh_runtime_clone();
-        evaluate(&mut h, t)
-    });
-    let mut agg = PredictionStats::new();
-    for (stats, t) in per_trace.iter().zip(&traces.test) {
-        agg.merge_weighted(stats, t.weight());
-    }
-    agg.mpki()
+    gauntlet_test_stats(traces, &[hybrid_lane(hybrid)])[0].mpki()
 }
 
 /// Formats an MPKI pair as the paper's "reduction" percentage.

@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod gate;
 pub mod harness;
 pub mod json;
+pub mod metrics;
 pub mod parallel;
 pub mod report;
 

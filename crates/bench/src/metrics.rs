@@ -1,0 +1,94 @@
+//! Process-global gauntlet counters.
+//!
+//! Every multi-predictor pass over a trace (a [`Gauntlet::run`] inside
+//! the harness, or a `simulate_many` sweep in the timing experiments)
+//! bumps these counters. `reproduce` snapshots them around each report
+//! section so the run manifest can record how much single-pass work
+//! each figure actually did — the observable form of the "one decode,
+//! N predictors" optimization.
+//!
+//! [`Gauntlet::run`]: branchnet_trace::Gauntlet::run
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+static PASSES: AtomicU64 = AtomicU64::new(0);
+static LANES: AtomicU64 = AtomicU64::new(0);
+static NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time reading of the gauntlet counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GauntletSnapshot {
+    /// Trace passes driven through a gauntlet (one per trace walked,
+    /// regardless of lane count).
+    pub passes: u64,
+    /// Total predictor-lanes evaluated (sum of lane counts over all
+    /// passes; equals the number of trace walks a naive per-predictor
+    /// harness would have needed).
+    pub lanes: u64,
+    /// Wall-clock nanoseconds spent inside gauntlet passes, summed
+    /// across worker threads (CPU-ish time, not elapsed time).
+    pub nanos: u64,
+}
+
+impl GauntletSnapshot {
+    /// Counter deltas since `earlier`.
+    #[must_use]
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            passes: self.passes - earlier.passes,
+            lanes: self.lanes - earlier.lanes,
+            nanos: self.nanos - earlier.nanos,
+        }
+    }
+
+    /// The summed in-pass wall-clock in milliseconds.
+    #[must_use]
+    pub fn millis(&self) -> u64 {
+        self.nanos / 1_000_000
+    }
+}
+
+/// Records one gauntlet pass over a trace with `lanes` predictors that
+/// took `elapsed` of wall-clock time on its worker thread.
+pub fn record_pass(lanes: usize, elapsed: Duration) {
+    PASSES.fetch_add(1, Ordering::Relaxed);
+    LANES.fetch_add(lanes as u64, Ordering::Relaxed);
+    let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    NANOS.fetch_add(nanos, Ordering::Relaxed);
+}
+
+/// Reads the current counter values.
+#[must_use]
+pub fn snapshot() -> GauntletSnapshot {
+    GauntletSnapshot {
+        passes: PASSES.load(Ordering::Relaxed),
+        lanes: LANES.load(Ordering::Relaxed),
+        nanos: NANOS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_pass_moves_the_counters() {
+        // Counters are process-global and tests run concurrently, so
+        // assert monotone growth by at least our own contribution
+        // rather than exact values.
+        let before = snapshot();
+        record_pass(6, Duration::from_micros(3));
+        let after = snapshot();
+        let delta = after.since(&before);
+        assert!(delta.passes >= 1);
+        assert!(delta.lanes >= 6);
+        assert!(delta.nanos >= 3_000);
+    }
+
+    #[test]
+    fn millis_truncates_nanos() {
+        let s = GauntletSnapshot { passes: 1, lanes: 1, nanos: 2_500_000 };
+        assert_eq!(s.millis(), 2);
+    }
+}

@@ -4,8 +4,10 @@
 //! a versioned JSON artifact; a run of `reproduce --json <dir>` (or
 //! any `fig*`/`table*` binary with `--json <dir>`) writes one artifact
 //! per experiment plus a top-level `manifest.json` carrying the run's
-//! provenance: scale, thread count, per-section wall-clock, and
-//! [`ArtifactCache`](crate::cache::ArtifactCache) hit/miss counters.
+//! provenance: scale, thread count, per-section wall-clock (with
+//! per-section gauntlet pass/lane counters, see [`crate::metrics`]),
+//! and [`ArtifactCache`](crate::cache::ArtifactCache) hit/miss
+//! counters.
 //!
 //! The experiment artifacts are **deterministic** — identical at any
 //! `BRANCHNET_THREADS` (PR 1's ordered-merge guarantee) — so they can
@@ -175,6 +177,51 @@ impl FromJson for ExperimentReport {
     }
 }
 
+/// Gauntlet work attributed to one `reproduce` section: how many
+/// single-pass multi-predictor trace walks it issued, the total
+/// predictor-lanes they carried (the trace walks a one-predictor-at-a-
+/// time harness would have needed), and the summed in-pass wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GauntletUsage {
+    /// Gauntlet passes (trace walks) in this section.
+    pub passes: u64,
+    /// Total predictor-lanes across those passes.
+    pub lanes: u64,
+    /// Summed wall-clock inside the passes, in milliseconds
+    /// (nondeterministic, like [`SectionTime::seconds`]).
+    pub millis: u64,
+}
+
+impl GauntletUsage {
+    /// Converts a counter delta into a manifest entry; `None` when the
+    /// section ran no gauntlet passes (so the field stays absent).
+    #[must_use]
+    pub fn from_delta(delta: &crate::metrics::GauntletSnapshot) -> Option<Self> {
+        (delta.passes > 0).then(|| Self {
+            passes: delta.passes,
+            lanes: delta.lanes,
+            millis: delta.millis(),
+        })
+    }
+}
+
+impl ToJson for GauntletUsage {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("passes", Json::Num(self.passes as f64)),
+            ("lanes", Json::Num(self.lanes as f64)),
+            ("millis", Json::Num(self.millis as f64)),
+        ])
+    }
+}
+
+impl FromJson for GauntletUsage {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let num = |k: &str| json.field(k).and_then(|v| v.as_usize().map(|n| n as u64));
+        Ok(Self { passes: num("passes")?, lanes: num("lanes")?, millis: num("millis")? })
+    }
+}
+
 /// Wall-clock of one `reproduce` section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SectionTime {
@@ -182,14 +229,20 @@ pub struct SectionTime {
     pub name: String,
     /// Elapsed seconds.
     pub seconds: f64,
+    /// Gauntlet counters for the section, when it drove any
+    /// multi-predictor passes. Optional in the JSON so manifests
+    /// written before this field existed still parse.
+    pub gauntlet: Option<GauntletUsage>,
 }
 
 impl ToJson for SectionTime {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
-            ("name", Json::Str(self.name.clone())),
-            ("seconds", Json::Num(self.seconds)),
-        ])
+        let mut fields =
+            vec![("name", Json::Str(self.name.clone())), ("seconds", Json::Num(self.seconds))];
+        if let Some(g) = &self.gauntlet {
+            fields.push(("gauntlet", g.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -198,6 +251,7 @@ impl FromJson for SectionTime {
         Ok(Self {
             name: json.field("name")?.as_str()?.to_string(),
             seconds: json.field("seconds")?.as_f64()?,
+            gauntlet: json.get("gauntlet").map(GauntletUsage::from_json).transpose()?,
         })
     }
 }
@@ -371,7 +425,13 @@ pub fn write_single_run(
     let exp = ExperimentReport::new(name, data);
     let mut manifest = RunManifest::new(scale, thread_count());
     manifest.artifacts = vec![exp.file_name()];
-    manifest.sections = vec![SectionTime { name: name.to_string(), seconds }];
+    // One-binary run: the whole process is the section, so the global
+    // gauntlet counters are its usage.
+    manifest.sections = vec![SectionTime {
+        name: name.to_string(),
+        seconds,
+        gauntlet: GauntletUsage::from_delta(&crate::metrics::snapshot()),
+    }];
     manifest.cache = ArtifactCache::global().stats();
     let run = RunReport { manifest, experiments: vec![exp] };
     run.write(dir)?;

@@ -15,7 +15,8 @@ use branchnet_bench::experiments::mini_pack::MiniPackReport;
 use branchnet_bench::experiments::tables::{Table4Report, Table4Row};
 use branchnet_bench::json::{FromJson, Json, ToJson};
 use branchnet_bench::report::{
-    ExperimentData, ExperimentReport, RunManifest, RunReport, SectionTime, SCHEMA_VERSION,
+    ExperimentData, ExperimentReport, GauntletUsage, RunManifest, RunReport, SectionTime,
+    SCHEMA_VERSION,
 };
 use branchnet_bench::Scale;
 use branchnet_workloads::spec::Benchmark;
@@ -125,6 +126,16 @@ fn every_variant_survives_metric_flattening() {
     }
 }
 
+/// Manifests written before the per-section gauntlet counters existed
+/// (the checked-in golden baselines) must still parse.
+#[test]
+fn section_time_without_gauntlet_field_still_parses() {
+    let json = Json::parse(r#"{"name": "Fig. 9", "seconds": 12.5}"#).expect("parse");
+    let section = SectionTime::from_json(&json).expect("deserialize");
+    assert_eq!(section.name, "Fig. 9");
+    assert_eq!(section.gauntlet, None);
+}
+
 #[test]
 fn run_report_round_trips_through_a_directory() {
     let experiments: Vec<ExperimentReport> =
@@ -132,8 +143,12 @@ fn run_report_round_trips_through_a_directory() {
     let mut manifest = RunManifest::new(&Scale::quick(), 3);
     manifest.artifacts = experiments.iter().map(ExperimentReport::file_name).collect();
     manifest.sections = vec![
-        SectionTime { name: "Fig. 9".to_string(), seconds: 12.5 },
-        SectionTime { name: "Table IV".to_string(), seconds: 3.25 },
+        SectionTime {
+            name: "Fig. 9".to_string(),
+            seconds: 12.5,
+            gauntlet: Some(GauntletUsage { passes: 6, lanes: 30, millis: 417 }),
+        },
+        SectionTime { name: "Table IV".to_string(), seconds: 3.25, gauntlet: None },
     ];
     let run = RunReport { manifest, experiments };
 

@@ -260,6 +260,14 @@ impl Predictor for HybridPredictor {
         self.base.note_unconditional(record);
     }
 
+    fn flush(&mut self) {
+        // The attached (offline-trained, frozen) models survive, as
+        // deployed BranchNet weights would; everything learned at
+        // runtime goes.
+        self.reset_runtime_state();
+        self.stats = HybridStats::default();
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -275,8 +283,7 @@ mod tests {
     use crate::config::{BranchNetConfig, SliceConfig};
     use crate::dataset::extract;
     use crate::trainer::{train_model, TrainOptions};
-    use branchnet_tage::evaluate;
-    use branchnet_trace::Trace;
+    use branchnet_trace::{run_one as evaluate, Trace};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -413,6 +420,11 @@ mod tests {
         for (t, &expected) in traces.iter().zip(&serial) {
             let mut clone = hybrid.fresh_runtime_clone();
             assert_eq!(evaluate(&mut clone, t).mispredictions(), expected);
+        }
+        // `flush` is the trait-level spelling of the same cold start.
+        for (t, &expected) in traces.iter().zip(&serial) {
+            hybrid.flush();
+            assert_eq!(evaluate(&mut hybrid, t).mispredictions(), expected);
         }
     }
 

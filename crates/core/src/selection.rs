@@ -20,8 +20,8 @@ use crate::config::BranchNetConfig;
 use crate::dataset::extract;
 use crate::model::BranchNetModel;
 use crate::trainer::{evaluate_accuracy, train_model, TrainOptions};
-use branchnet_tage::{evaluate_per_branch, TageScL, TageSclConfig};
-use branchnet_trace::{BranchStats, Trace, TraceSet};
+use branchnet_tage::{TageScL, TageSclConfig};
+use branchnet_trace::{BranchStats, Gauntlet, Trace, TraceSet};
 use serde::{Deserialize, Serialize};
 
 /// Pipeline knobs.
@@ -79,13 +79,19 @@ pub fn rank_hard_branches(
     traces: &[Trace],
     k: usize,
 ) -> (Vec<u64>, BranchStats) {
-    let mut stats = BranchStats::new();
+    let mut gauntlet = Gauntlet::new();
+    let lane = gauntlet.add_tracked(TageScL::new(baseline_cfg));
     for t in traces {
+        gauntlet.run(t);
         // Each trace gets a cold predictor, like per-SimPoint
         // evaluation in the paper's methodology.
-        let mut predictor = TageScL::new(baseline_cfg);
-        stats.merge(&evaluate_per_branch(&mut predictor, t));
+        gauntlet.flush();
     }
+    let stats = gauntlet
+        .finish()
+        .swap_remove(lane)
+        .branch_stats
+        .expect("ranking lane collects per-branch stats");
     (stats.rank_by_mispredictions().top_pcs(k), stats)
 }
 

@@ -21,4 +21,6 @@ pub mod config;
 pub mod pipeline;
 
 pub use config::CpuConfig;
-pub use pipeline::{simulate, simulate_with_oracle, DirectionSource, Oracle, SimResult};
+pub use pipeline::{
+    simulate, simulate_many, simulate_with_oracle, DirectionSource, Oracle, SimResult,
+};

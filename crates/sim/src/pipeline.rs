@@ -80,6 +80,75 @@ impl SimResult {
     }
 }
 
+/// Simulates `trace` once for each late predictor in `lates`, all
+/// behind one shared early gshare, under `config`.
+///
+/// The early predictor and the dynamic-branch counter evolve
+/// identically no matter which late predictor sits behind them (both
+/// are pure functions of the record stream), so a single decode pass
+/// can score every lane at once. Each lane's [`SimResult`] is
+/// byte-identical to what a solo [`simulate`] call would produce.
+///
+/// # Panics
+///
+/// Panics if `config` fails validation.
+pub fn simulate_many(
+    trace: &Trace,
+    lates: &mut [&mut dyn DirectionSource],
+    config: &CpuConfig,
+) -> Vec<SimResult> {
+    config.validate();
+    let mut early = Gshare::new(config.early_gshare_log_size, config.early_gshare_history);
+    let width = config.fetch_width.min(config.issue_width) as u64;
+    let mut instructions = 0u64;
+    let mut branches = 0u64;
+    let mut mispredictions = vec![0u64; lates.len()];
+    let mut resteers = vec![0u64; lates.len()];
+    let mut penalty_cycles = vec![0u64; lates.len()];
+    for record in trace {
+        instructions += 1 + u64::from(record.inst_gap);
+        if !record.kind.is_conditional() {
+            early.note_unconditional(record);
+            for late in lates.iter_mut() {
+                late.note_record(record);
+            }
+            continue;
+        }
+        branches += 1;
+        let early_pred = early.predict(record.pc);
+        for (lane, late) in lates.iter_mut().enumerate() {
+            let late_pred = late.predict_record(record);
+            if late_pred != record.taken {
+                // Full flush: refill the frontend and wait for the
+                // branch to resolve. Memory-dependent branches (chosen
+                // deterministically by PC/occurrence hash) resolve
+                // late.
+                let slow = is_memory_dependent(record.pc, branches, config.memory_branch_per_mille);
+                let resolve = if slow { config.memory_resolve_delay } else { config.resolve_delay };
+                penalty_cycles[lane] += config.frontend_stages + resolve;
+                mispredictions[lane] += 1;
+            } else if early_pred != late_pred {
+                // Correct late prediction overriding the early one:
+                // the frontend refetches from the corrected target.
+                penalty_cycles[lane] += config.late_predictor_cycles;
+                resteers[lane] += 1;
+            }
+            late.update_record(record, late_pred);
+        }
+        early.update(record, early_pred);
+    }
+    let base_cycles = instructions.div_ceil(width);
+    (0..lates.len())
+        .map(|lane| SimResult {
+            cycles: base_cycles + penalty_cycles[lane],
+            instructions,
+            branches,
+            mispredictions: mispredictions[lane],
+            resteers: resteers[lane],
+        })
+        .collect()
+}
+
 /// Simulates `trace` with `late` as the heavy-weight predictor behind
 /// a fresh early gshare, under `config`.
 ///
@@ -87,49 +156,7 @@ impl SimResult {
 ///
 /// Panics if `config` fails validation.
 pub fn simulate(trace: &Trace, late: &mut dyn DirectionSource, config: &CpuConfig) -> SimResult {
-    config.validate();
-    let mut early = Gshare::new(config.early_gshare_log_size, config.early_gshare_history);
-    let width = config.fetch_width.min(config.issue_width) as u64;
-    let mut instructions = 0u64;
-    let mut branches = 0u64;
-    let mut mispredictions = 0u64;
-    let mut resteers = 0u64;
-    let mut penalty_cycles = 0u64;
-    for record in trace {
-        instructions += 1 + u64::from(record.inst_gap);
-        if !record.kind.is_conditional() {
-            early.note_unconditional(record);
-            late.note_record(record);
-            continue;
-        }
-        branches += 1;
-        let early_pred = early.predict(record.pc);
-        let late_pred = late.predict_record(record);
-        if late_pred != record.taken {
-            // Full flush: refill the frontend and wait for the branch
-            // to resolve. Memory-dependent branches (chosen
-            // deterministically by PC/occurrence hash) resolve late.
-            let slow = is_memory_dependent(record.pc, branches, config.memory_branch_per_mille);
-            let resolve = if slow { config.memory_resolve_delay } else { config.resolve_delay };
-            penalty_cycles += config.frontend_stages + resolve;
-            mispredictions += 1;
-        } else if early_pred != late_pred {
-            // Correct late prediction overriding the early one: the
-            // frontend refetches from the corrected target.
-            penalty_cycles += config.late_predictor_cycles;
-            resteers += 1;
-        }
-        early.update(record, early_pred);
-        late.update_record(record, late_pred);
-    }
-    let base_cycles = instructions.div_ceil(width);
-    SimResult {
-        cycles: base_cycles + penalty_cycles,
-        instructions,
-        branches,
-        mispredictions,
-        resteers,
-    }
+    simulate_many(trace, &mut [late], config).pop().expect("one lane in, one result out")
 }
 
 /// Simulates with the oracle late predictor (perfect prediction).
@@ -186,8 +213,23 @@ mod tests {
         let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
         let sim = simulate(&trace, &mut tage, &cfg);
         let mut tage2 = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
-        let eval = branchnet_tage::evaluate(&mut tage2, &trace);
+        let eval = branchnet_trace::run_one(&mut tage2, &trace);
         assert!((sim.mpki() - eval.mpki()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulate_many_matches_solo_runs() {
+        let trace = loopy_trace(20_000);
+        let cfg = CpuConfig::default();
+        let mut a = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
+        let mut b = AlwaysTaken;
+        let solo_a = simulate(&trace, &mut TageScL::new(&TageSclConfig::tage_sc_l_64kb()), &cfg);
+        let solo_b = simulate(&trace, &mut AlwaysTaken, &cfg);
+        let many = simulate_many(&trace, &mut [&mut a, &mut b, &mut Oracle], &cfg);
+        assert_eq!(many.len(), 3);
+        assert_eq!(many[0], solo_a);
+        assert_eq!(many[1], solo_b);
+        assert_eq!(many[2], simulate_with_oracle(&trace, &cfg));
     }
 
     #[test]

@@ -65,6 +65,10 @@ impl Predictor for Bimodal {
         self.train(record.pc, record.taken);
     }
 
+    fn flush(&mut self) {
+        *self = Self::new(self.table.len().trailing_zeros(), self.counter_bits);
+    }
+
     fn name(&self) -> &'static str {
         "bimodal"
     }
@@ -77,8 +81,7 @@ impl Predictor for Bimodal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predictor::evaluate;
-    use branchnet_trace::Trace;
+    use branchnet_trace::{run_one as evaluate, Trace};
 
     #[test]
     fn learns_a_biased_branch() {

@@ -56,6 +56,10 @@ impl Predictor for Gshare {
         self.history.push(record.taken);
     }
 
+    fn flush(&mut self) {
+        *self = Self::new(self.table.len().trailing_zeros(), self.history_bits);
+    }
+
     fn name(&self) -> &'static str {
         "gshare"
     }
@@ -69,8 +73,7 @@ impl Predictor for Gshare {
 mod tests {
     use super::*;
     use crate::bimodal::Bimodal;
-    use crate::predictor::evaluate;
-    use branchnet_trace::Trace;
+    use branchnet_trace::{run_one as evaluate, Trace};
 
     /// gshare learns short-period patterns that bimodal cannot.
     #[test]

@@ -14,24 +14,27 @@
 //!   points: [`Bimodal`], [`Gshare`], [`TwoLevel`], [`Perceptron`],
 //!   and [`HashedPerceptron`].
 //!
-//! All predictors implement the [`Predictor`] trait and are evaluated
-//! with [`evaluate`] / [`evaluate_per_branch`].
+//! All predictors implement the shared
+//! [`branchnet_trace::Predictor`] trait and are evaluated with the
+//! [`branchnet_trace::Gauntlet`] (single- or multi-lane, one trace
+//! pass either way).
 //!
 //! # Example
 //!
 //! ```
-//! use branchnet_tage::{evaluate, Gshare, Predictor, TageScL, TageSclConfig};
-//! use branchnet_trace::{BranchRecord, Trace};
+//! use branchnet_tage::{Gshare, Predictor, TageScL, TageSclConfig};
+//! use branchnet_trace::{BranchRecord, Gauntlet, Trace};
 //!
 //! // A loop branch: taken 9 times, then not taken, repeatedly.
 //! let trace: Trace =
 //!     (0..2000).map(|i| BranchRecord::conditional(0x40, i % 10 != 9)).collect();
-//! let mut tage = TageScL::new(&TageSclConfig::tage_sc_l_64kb());
-//! let stats = evaluate(&mut tage, &trace);
-//! assert!(stats.accuracy() > 0.95);
-//! let mut gshare = Gshare::new(12, 12);
-//! let gshare_stats = evaluate(&mut gshare, &trace);
-//! assert!(gshare_stats.accuracy() > 0.9);
+//! // Both predictors share one pass over the trace.
+//! let mut gauntlet = Gauntlet::new();
+//! let tage = gauntlet.add(TageScL::new(&TageSclConfig::tage_sc_l_64kb()));
+//! let gshare = gauntlet.add(Gshare::new(12, 12));
+//! gauntlet.run(&trace);
+//! assert!(gauntlet.stats(tage).accuracy() > 0.95);
+//! assert!(gauntlet.stats(gshare).accuracy() > 0.9);
 //! ```
 
 pub mod bimodal;
@@ -50,7 +53,9 @@ pub use counters::{SaturatingCounter, UnsignedCounter};
 pub use gshare::Gshare;
 pub use loop_pred::LoopPredictor;
 pub use perceptron::{HashedPerceptron, Perceptron};
-pub use predictor::{evaluate, evaluate_per_branch, AlwaysTaken, Predictor, StaticBias};
+#[allow(deprecated)]
+pub use predictor::{evaluate, evaluate_per_branch};
+pub use predictor::{AlwaysTaken, Predictor, StaticBias};
 pub use sc::{ScConfig, StatisticalCorrector};
 pub use tage::{Tage, TageConfig};
 pub use tagescl::{TageScL, TageSclConfig};

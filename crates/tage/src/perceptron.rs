@@ -85,6 +85,10 @@ impl Predictor for Perceptron {
         self.history.push(record.taken);
     }
 
+    fn flush(&mut self) {
+        *self = Self::new(self.weights.len().trailing_zeros(), self.history_bits);
+    }
+
     fn name(&self) -> &'static str {
         "perceptron"
     }
@@ -201,6 +205,12 @@ impl Predictor for HashedPerceptron {
         self.history.push(record.taken);
     }
 
+    fn flush(&mut self) {
+        // Reconstructing also resets the adaptive threshold and its
+        // counter, which plain table-zeroing would miss.
+        *self = Self::new(self.log_table, &std::mem::take(&mut self.lengths));
+    }
+
     fn name(&self) -> &'static str {
         "hashed-perceptron"
     }
@@ -213,8 +223,7 @@ impl Predictor for HashedPerceptron {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predictor::evaluate;
-    use branchnet_trace::Trace;
+    use branchnet_trace::{run_one as evaluate, Trace};
 
     fn correlated_trace(n: usize, gap: usize) -> Trace {
         // Branch at 0x900 repeats the direction of branch 0x100 `gap`

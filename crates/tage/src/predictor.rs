@@ -1,182 +1,62 @@
-//! The [`Predictor`] trait and trace-driven evaluation helpers.
+//! Re-exports of the shared prediction layer plus deprecated
+//! evaluation shims.
+//!
+//! The [`Predictor`] trait and the trace-driven evaluation loop now
+//! live in `branchnet-trace` (see `branchnet_trace::predict` and
+//! `branchnet_trace::gauntlet`), where every crate — runtime
+//! baselines, CNN hybrids, the timing model — can implement and
+//! consume them. This module keeps the historical `branchnet_tage`
+//! paths alive: the trait re-export is permanent; the free-function
+//! evaluators are deprecated shims over the single-lane gauntlet.
 
-use branchnet_trace::{BranchRecord, BranchStats, PredictionStats, Trace};
+pub use branchnet_trace::{AlwaysTaken, Predictor, StaticBias};
 
-/// A runtime conditional-branch predictor.
-///
-/// Predictors are driven in trace order: for every conditional branch,
-/// [`predict`](Predictor::predict) is called first, then
-/// [`update`](Predictor::update) with the resolved record. Predictors
-/// may stash lookup state between the two calls (the usual
-/// championship-simulator contract). Non-conditional control flow is
-/// reported through [`note_unconditional`](Predictor::note_unconditional)
-/// so history registers stay realistic.
-pub trait Predictor {
-    /// Predicts the direction of the conditional branch at `pc`.
-    fn predict(&mut self, pc: u64) -> bool;
-
-    /// Trains on the resolved branch. `predicted` must be the value
-    /// this predictor returned from the immediately preceding
-    /// [`predict`](Predictor::predict) call for the same branch.
-    fn update(&mut self, record: &BranchRecord, predicted: bool);
-
-    /// Observes a non-conditional control-flow instruction (shifts
-    /// path/target histories in predictors that keep them).
-    fn note_unconditional(&mut self, record: &BranchRecord) {
-        let _ = record;
-    }
-
-    /// Short name for reports.
-    fn name(&self) -> &'static str;
-
-    /// Modeled hardware budget in bits (0 when not meaningful, e.g.
-    /// for oracle or unlimited predictors).
-    fn storage_bits(&self) -> u64 {
-        0
-    }
-}
-
-/// A trivial predictor that always predicts taken. Useful as a floor
-/// in tests and as the "static bias" strawman of Section II-B.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct AlwaysTaken;
-
-impl Predictor for AlwaysTaken {
-    fn predict(&mut self, _pc: u64) -> bool {
-        true
-    }
-    fn update(&mut self, _record: &BranchRecord, _predicted: bool) {}
-    fn name(&self) -> &'static str {
-        "always-taken"
-    }
-}
-
-/// A profile-derived static-bias predictor: predicts each static
-/// branch's majority direction as measured on a profiling trace
-/// (Section II-B's "static branch biases" offline technique).
-#[derive(Debug, Clone, Default)]
-pub struct StaticBias {
-    bias: std::collections::HashMap<u64, bool>,
-}
-
-impl StaticBias {
-    /// Profiles `trace` and records each branch's majority direction.
-    #[must_use]
-    pub fn from_profile(trace: &Trace) -> Self {
-        let mut counts: std::collections::HashMap<u64, (u64, u64)> =
-            std::collections::HashMap::new();
-        for r in trace.iter().filter(|r| r.kind.is_conditional()) {
-            let e = counts.entry(r.pc).or_default();
-            if r.taken {
-                e.0 += 1;
-            } else {
-                e.1 += 1;
-            }
-        }
-        Self { bias: counts.into_iter().map(|(pc, (t, n))| (pc, t >= n)).collect() }
-    }
-}
-
-impl Predictor for StaticBias {
-    fn predict(&mut self, pc: u64) -> bool {
-        self.bias.get(&pc).copied().unwrap_or(true)
-    }
-    fn update(&mut self, _record: &BranchRecord, _predicted: bool) {}
-    fn name(&self) -> &'static str {
-        "static-bias"
-    }
-}
+use branchnet_trace::{BranchStats, PredictionStats, Trace};
 
 /// Runs `predictor` over `trace` and returns aggregate statistics.
-///
-/// ```
-/// use branchnet_tage::{evaluate, AlwaysTaken};
-/// use branchnet_trace::{BranchRecord, Trace};
-///
-/// let trace: Trace = (0..10).map(|i| BranchRecord::conditional(4, i % 2 == 0)).collect();
-/// let stats = evaluate(&mut AlwaysTaken, &trace);
-/// assert!((stats.accuracy() - 0.5).abs() < 1e-9);
-/// ```
+#[deprecated(note = "use branchnet_trace::run_one, or a branchnet_trace::Gauntlet \
+                     to evaluate several predictors in one pass")]
 pub fn evaluate(predictor: &mut dyn Predictor, trace: &Trace) -> PredictionStats {
-    let mut stats = PredictionStats::new();
-    for record in trace {
-        if record.kind.is_conditional() {
-            let predicted = predictor.predict(record.pc);
-            stats.record(predicted == record.taken, record.inst_gap);
-            predictor.update(record, predicted);
-        } else {
-            stats.record_instructions(1 + u64::from(record.inst_gap));
-            predictor.note_unconditional(record);
-        }
-    }
-    stats
+    branchnet_trace::run_one(predictor, trace)
 }
 
-/// Like [`evaluate`] but also returns per-static-branch statistics,
-/// which the offline pipeline uses to rank hard-to-predict branches.
+/// Like [`evaluate`] but also returns per-static-branch statistics.
+#[deprecated(note = "use branchnet_trace::run_one_per_branch, or a tracked \
+                     branchnet_trace::Gauntlet lane")]
 pub fn evaluate_per_branch(predictor: &mut dyn Predictor, trace: &Trace) -> BranchStats {
-    let mut stats = BranchStats::new();
-    for record in trace {
-        if record.kind.is_conditional() {
-            let predicted = predictor.predict(record.pc);
-            stats.record(record.pc, predicted == record.taken, record.inst_gap);
-            predictor.update(record, predicted);
-        } else {
-            predictor.note_unconditional(record);
-        }
-    }
-    stats
+    branchnet_trace::run_one_per_branch(predictor, trace)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use branchnet_trace::BranchKind;
+    use branchnet_trace::{run_one, run_one_per_branch, BranchRecord};
 
     fn alternating(n: usize) -> Trace {
         (0..n).map(|i| BranchRecord::conditional(0x10, i % 2 == 0)).collect()
     }
 
     #[test]
-    fn always_taken_gets_half_of_alternating() {
-        let stats = evaluate(&mut AlwaysTaken, &alternating(100));
-        assert!((stats.accuracy() - 0.5).abs() < 1e-9);
+    fn evaluate_shim_matches_gauntlet() {
+        let trace = alternating(100);
+        let shim = evaluate(&mut AlwaysTaken, &trace);
+        let direct = run_one(&mut AlwaysTaken, &trace);
+        assert_eq!(shim, direct);
+        assert!((shim.accuracy() - 0.5).abs() < 1e-9);
     }
 
     #[test]
-    fn static_bias_learns_majority_direction() {
-        let mut t = Trace::new();
-        for i in 0..100 {
-            t.push(BranchRecord::conditional(0x10, i % 10 != 0)); // 90% taken
-            t.push(BranchRecord::conditional(0x20, i % 10 == 0)); // 10% taken
-        }
-        let mut sb = StaticBias::from_profile(&t);
-        assert!(sb.predict(0x10));
-        assert!(!sb.predict(0x20));
-        assert!(sb.predict(0x999), "unseen branches default to taken");
-        let stats = evaluate(&mut StaticBias::from_profile(&t), &t);
-        assert!((stats.accuracy() - 0.9).abs() < 1e-9);
-    }
-
-    #[test]
-    fn evaluate_counts_unconditional_instructions() {
-        let mut t = Trace::new();
-        t.push(BranchRecord::conditional(0x10, true));
-        t.push(BranchRecord::unconditional(0x20, 0x80, BranchKind::Jump));
-        let stats = evaluate(&mut AlwaysTaken, &t);
-        assert!((stats.predictions() - 1.0).abs() < f64::EPSILON);
-        assert!((stats.instructions() - 10.0).abs() < f64::EPSILON);
-    }
-
-    #[test]
-    fn evaluate_per_branch_separates_pcs() {
+    fn evaluate_per_branch_shim_matches_gauntlet() {
         let mut t = Trace::new();
         for i in 0..10 {
             t.push(BranchRecord::conditional(0x10, true));
             t.push(BranchRecord::conditional(0x20, i % 2 == 0));
         }
-        let bs = evaluate_per_branch(&mut AlwaysTaken, &t);
-        assert!((bs.get(0x10).unwrap().accuracy() - 1.0).abs() < 1e-9);
-        assert!((bs.get(0x20).unwrap().accuracy() - 0.5).abs() < 1e-9);
+        let shim = evaluate_per_branch(&mut AlwaysTaken, &t);
+        let direct = run_one_per_branch(&mut AlwaysTaken, &t);
+        assert_eq!(shim.get(0x10), direct.get(0x10));
+        assert_eq!(shim.get(0x20), direct.get(0x20));
+        assert!((shim.get(0x20).unwrap().accuracy() - 0.5).abs() < 1e-9);
     }
 }

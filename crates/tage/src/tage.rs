@@ -490,6 +490,11 @@ impl Predictor for TageStandalone {
         self.tage.note_control_flow(record);
     }
 
+    fn flush(&mut self) {
+        self.tage.flush();
+        self.last = None;
+    }
+
     fn name(&self) -> &'static str {
         "tage"
     }
@@ -513,6 +518,11 @@ impl Predictor for Tage {
         self.note_control_flow(record);
     }
 
+    fn flush(&mut self) {
+        let config = self.config.clone();
+        *self = Self::new(&config);
+    }
+
     fn name(&self) -> &'static str {
         "tage-core"
     }
@@ -525,8 +535,8 @@ impl Predictor for Tage {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predictor::{evaluate, Predictor};
-    use branchnet_trace::Trace;
+    use crate::predictor::Predictor;
+    use branchnet_trace::{run_one as evaluate, Trace};
 
     fn small_config() -> TageConfig {
         TageConfig {

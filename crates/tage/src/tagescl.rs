@@ -221,6 +221,11 @@ impl Predictor for TageScL {
         self.tage.note_control_flow(record);
     }
 
+    fn flush(&mut self) {
+        let config = self.config.clone();
+        *self = Self::new(&config);
+    }
+
     fn name(&self) -> &'static str {
         self.config.name
     }
@@ -240,8 +245,7 @@ impl Predictor for TageScL {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predictor::evaluate;
-    use branchnet_trace::Trace;
+    use branchnet_trace::{run_one as evaluate, Trace};
 
     #[test]
     fn baseline_fits_its_64kb_budget() {

@@ -57,6 +57,10 @@ impl Predictor for TwoLevel {
         self.history.push(record.taken);
     }
 
+    fn flush(&mut self) {
+        *self = Self::new(self.history_bits, self.mix_pc);
+    }
+
     fn name(&self) -> &'static str {
         "two-level"
     }
@@ -69,8 +73,7 @@ impl Predictor for TwoLevel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::predictor::evaluate;
-    use branchnet_trace::Trace;
+    use branchnet_trace::{run_one as evaluate, Trace};
 
     #[test]
     fn perfect_on_deterministic_pattern() {

@@ -1,0 +1,260 @@
+//! The [`Gauntlet`]: single-pass, multi-predictor trace evaluation.
+//!
+//! The paper's evaluation (Figs. 9–13) runs the *same* test traces
+//! through every predictor under study. Driving each predictor in its
+//! own pass decodes and re-walks the trace once per variant; the
+//! gauntlet instead decodes each record once and feeds it to N
+//! independent *lanes*, collecting per-lane
+//! [`PredictionStats`] (and optionally per-static-branch
+//! [`BranchStats`]) simultaneously.
+//!
+//! Lanes never interact: each lane's predictor sees exactly the
+//! predict/update/note sequence it would see when driven alone, and
+//! its statistics counters are integer-valued `f64` accumulated in the
+//! same order, so per-lane results are bit-identical to a sequential
+//! per-predictor run.
+//!
+//! # Example
+//!
+//! ```
+//! use branchnet_trace::{AlwaysTaken, BranchRecord, Gauntlet, StaticBias, Trace};
+//!
+//! let trace: Trace = (0..100).map(|i| BranchRecord::conditional(0x40, i % 2 == 0)).collect();
+//! let mut gauntlet = Gauntlet::new();
+//! let taken = gauntlet.add(AlwaysTaken);
+//! let bias = gauntlet.add(StaticBias::from_profile(&trace));
+//! gauntlet.run(&trace);
+//! assert!((gauntlet.stats(taken).accuracy() - 0.5).abs() < 1e-9);
+//! assert!((gauntlet.stats(bias).accuracy() - 0.5).abs() < 1e-9);
+//! ```
+
+use crate::predict::Predictor;
+use crate::stats::{BranchStats, PredictionStats};
+use crate::trace::Trace;
+
+/// One predictor being driven through the gauntlet, with its
+/// accumulated statistics.
+struct Lane<'a> {
+    predictor: Box<dyn Predictor + 'a>,
+    stats: PredictionStats,
+    branch_stats: Option<BranchStats>,
+}
+
+/// A finished lane's results, as returned by [`Gauntlet::finish`].
+pub struct LaneResult {
+    /// The predictor's [`Predictor::name`].
+    pub name: &'static str,
+    /// Aggregate statistics over every record the lane saw.
+    pub stats: PredictionStats,
+    /// Per-static-branch statistics, for lanes added with
+    /// [`Gauntlet::add_tracked`]. Matches the historical
+    /// per-branch-evaluation convention: only conditional branches are
+    /// counted (no unconditional instruction credit).
+    pub branch_stats: Option<BranchStats>,
+}
+
+/// Drives N independent predictors over traces in one pass per trace.
+#[derive(Default)]
+pub struct Gauntlet<'a> {
+    lanes: Vec<Lane<'a>>,
+}
+
+impl<'a> Gauntlet<'a> {
+    /// Creates an empty gauntlet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { lanes: Vec::new() }
+    }
+
+    /// Adds a lane and returns its index.
+    pub fn add(&mut self, predictor: impl Predictor + 'a) -> usize {
+        self.add_boxed(Box::new(predictor))
+    }
+
+    /// Adds an already-boxed lane and returns its index.
+    pub fn add_boxed(&mut self, predictor: Box<dyn Predictor + 'a>) -> usize {
+        self.lanes.push(Lane { predictor, stats: PredictionStats::new(), branch_stats: None });
+        self.lanes.len() - 1
+    }
+
+    /// Adds a lane that additionally collects per-static-branch
+    /// statistics, and returns its index.
+    pub fn add_tracked(&mut self, predictor: impl Predictor + 'a) -> usize {
+        let lane = self.add_boxed(Box::new(predictor));
+        self.lanes[lane].branch_stats = Some(BranchStats::new());
+        lane
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the gauntlet has no lanes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Drives every lane over `trace` in one pass, accumulating each
+    /// lane's statistics. May be called repeatedly; pair with
+    /// [`flush`](Gauntlet::flush) between traces for cold-start
+    /// (per-SimPoint) evaluation.
+    pub fn run(&mut self, trace: &Trace) {
+        for record in trace {
+            if record.kind.is_conditional() {
+                for lane in &mut self.lanes {
+                    let predicted = lane.predictor.predict(record.pc);
+                    let correct = predicted == record.taken;
+                    lane.stats.record(correct, record.inst_gap);
+                    if let Some(bs) = &mut lane.branch_stats {
+                        bs.record(record.pc, correct, record.inst_gap);
+                    }
+                    lane.predictor.update(record, predicted);
+                }
+            } else {
+                for lane in &mut self.lanes {
+                    lane.stats.record_instructions(1 + u64::from(record.inst_gap));
+                    lane.predictor.note_unconditional(record);
+                }
+            }
+        }
+    }
+
+    /// Flushes every lane's predictor back to its freshly-constructed
+    /// state. Accumulated statistics are kept — this is the seam for
+    /// serial cold-start accumulation across a trace set.
+    pub fn flush(&mut self) {
+        for lane in &mut self.lanes {
+            lane.predictor.flush();
+        }
+    }
+
+    /// A lane's aggregate statistics so far.
+    #[must_use]
+    pub fn stats(&self, lane: usize) -> &PredictionStats {
+        &self.lanes[lane].stats
+    }
+
+    /// A tracked lane's per-branch statistics so far.
+    #[must_use]
+    pub fn branch_stats(&self, lane: usize) -> Option<&BranchStats> {
+        self.lanes[lane].branch_stats.as_ref()
+    }
+
+    /// Consumes the gauntlet and returns every lane's results in lane
+    /// order.
+    #[must_use]
+    pub fn finish(self) -> Vec<LaneResult> {
+        self.lanes
+            .into_iter()
+            .map(|lane| LaneResult {
+                name: lane.predictor.name(),
+                stats: lane.stats,
+                branch_stats: lane.branch_stats,
+            })
+            .collect()
+    }
+}
+
+/// Runs one predictor over `trace` and returns aggregate statistics —
+/// a single-lane [`Gauntlet`] pass.
+///
+/// ```
+/// use branchnet_trace::{run_one, AlwaysTaken, BranchRecord, Trace};
+///
+/// let trace: Trace = (0..10).map(|i| BranchRecord::conditional(4, i % 2 == 0)).collect();
+/// let stats = run_one(&mut AlwaysTaken, &trace);
+/// assert!((stats.accuracy() - 0.5).abs() < 1e-9);
+/// ```
+pub fn run_one<P: Predictor + ?Sized>(predictor: &mut P, trace: &Trace) -> PredictionStats {
+    let mut gauntlet = Gauntlet::new();
+    gauntlet.add(&mut *predictor);
+    gauntlet.run(trace);
+    gauntlet.finish().pop().expect("single lane").stats
+}
+
+/// Like [`run_one`] but returns per-static-branch statistics, which
+/// the offline pipeline uses to rank hard-to-predict branches. Only
+/// conditional branches are counted (no unconditional instruction
+/// credit), matching the per-branch ranking convention.
+pub fn run_one_per_branch<P: Predictor + ?Sized>(predictor: &mut P, trace: &Trace) -> BranchStats {
+    let mut gauntlet = Gauntlet::new();
+    gauntlet.add_tracked(&mut *predictor);
+    gauntlet.run(trace);
+    gauntlet.finish().pop().expect("single lane").branch_stats.expect("tracked lane")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::{AlwaysTaken, StaticBias};
+    use crate::record::{BranchKind, BranchRecord};
+
+    fn alternating(n: usize) -> Trace {
+        (0..n).map(|i| BranchRecord::conditional(0x10, i % 2 == 0)).collect()
+    }
+
+    #[test]
+    fn always_taken_gets_half_of_alternating() {
+        let stats = run_one(&mut AlwaysTaken, &alternating(100));
+        assert!((stats.accuracy() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_one_counts_unconditional_instructions() {
+        let mut t = Trace::new();
+        t.push(BranchRecord::conditional(0x10, true));
+        t.push(BranchRecord::unconditional(0x20, 0x80, BranchKind::Jump));
+        let stats = run_one(&mut AlwaysTaken, &t);
+        assert!((stats.predictions() - 1.0).abs() < f64::EPSILON);
+        assert!((stats.instructions() - 10.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn per_branch_separates_pcs_and_skips_unconditional_credit() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            t.push(BranchRecord::conditional(0x10, true));
+            t.push(BranchRecord::conditional(0x20, i % 2 == 0));
+        }
+        t.push(BranchRecord::unconditional(0x30, 0x80, BranchKind::Jump));
+        let bs = run_one_per_branch(&mut AlwaysTaken, &t);
+        assert!((bs.get(0x10).unwrap().accuracy() - 1.0).abs() < 1e-9);
+        assert!((bs.get(0x20).unwrap().accuracy() - 0.5).abs() < 1e-9);
+        // Historical convention: only conditional records count.
+        assert!((bs.totals().instructions() - 100.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn multi_lane_matches_individual_runs() {
+        let trace = alternating(200);
+        let solo_taken = run_one(&mut AlwaysTaken, &trace);
+        let solo_bias = run_one(&mut StaticBias::from_profile(&trace), &trace);
+
+        let mut g = Gauntlet::new();
+        let a = g.add(AlwaysTaken);
+        let b = g.add(StaticBias::from_profile(&trace));
+        g.run(&trace);
+        assert_eq!(*g.stats(a), solo_taken);
+        assert_eq!(*g.stats(b), solo_bias);
+        let results = g.finish();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "always-taken");
+        assert!(results[0].branch_stats.is_none());
+    }
+
+    #[test]
+    fn flush_keeps_stats_and_resets_predictors() {
+        let trace = alternating(100);
+        let mut g = Gauntlet::new();
+        let lane = g.add(AlwaysTaken);
+        g.run(&trace);
+        let after_one = *g.stats(lane);
+        g.flush();
+        assert_eq!(*g.stats(lane), after_one, "flush must not clear statistics");
+        g.run(&trace);
+        assert!((g.stats(lane).predictions() - 200.0).abs() < f64::EPSILON);
+    }
+}

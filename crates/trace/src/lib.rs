@@ -11,7 +11,12 @@
 //!   cyclic-shift-register *folded* histories TAGE uses for indexing, and
 //!   the `p`-bit-PC ⊕ direction encoding BranchNet consumes,
 //! * [`stats`] — per-branch accuracy accounting, MPKI computation, and
-//!   hard-to-predict branch ranking.
+//!   hard-to-predict branch ranking,
+//! * [`predict`] — the object-safe [`Predictor`](predict::Predictor)
+//!   contract every prediction stack (TAGE baselines, CNN hybrids)
+//!   implements,
+//! * [`gauntlet`] — the [`Gauntlet`](gauntlet::Gauntlet), which drives
+//!   N predictors over a trace in a single pass.
 //!
 //! # Example
 //!
@@ -26,14 +31,18 @@
 //! assert_eq!(trace.records()[0].pc, 0x400_100);
 //! ```
 
+pub mod gauntlet;
 pub mod history;
 pub mod io;
+pub mod predict;
 pub mod record;
 pub mod stats;
 pub mod trace;
 
+pub use gauntlet::{run_one, run_one_per_branch, Gauntlet, LaneResult};
 pub use history::{FoldedHistory, GlobalHistory, HistoryRegister, PathHistory};
 pub use io::{load_trace, read_trace, save_trace, write_trace, ReadTraceError};
+pub use predict::{AlwaysTaken, Predictor, StaticBias};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{BranchStats, MispredictionRanking, PredictionStats};
 pub use trace::{Trace, TraceSet};

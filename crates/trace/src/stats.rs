@@ -21,6 +21,15 @@ impl PredictionStats {
         Self::default()
     }
 
+    /// Builds statistics from raw counters — e.g. derived from a
+    /// timing simulation that already counted branches,
+    /// mispredictions, and instructions on the same predictor
+    /// sequence.
+    #[must_use]
+    pub fn from_counts(predictions: f64, mispredictions: f64, instructions: f64) -> Self {
+        Self { predictions, mispredictions, instructions }
+    }
+
     /// Records one predicted branch: whether the prediction was
     /// `correct` and how many non-branch instructions (`inst_gap`)
     /// preceded it.

@@ -34,6 +34,19 @@ impl Trace {
         Self { records: Vec::new(), weight, label: label.into() }
     }
 
+    /// Creates an empty, unit-weight trace whose record storage is
+    /// pre-allocated for `capacity` records (trace generators know
+    /// their branch budget up front, so synthesis never reallocates).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { records: Vec::with_capacity(capacity), weight: 1.0, label: String::new() }
+    }
+
+    /// Reserves capacity for at least `additional` more records.
+    pub fn reserve(&mut self, additional: usize) {
+        self.records.reserve(additional);
+    }
+
     /// Appends a record.
     pub fn push(&mut self, record: BranchRecord) {
         self.records.push(record);
@@ -160,6 +173,19 @@ mod tests {
         assert!(!t.is_empty());
         // Each record contributes 1 + inst_gap(4) instructions.
         assert_eq!(t.instruction_count(), 50);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_without_changing_semantics() {
+        let mut t = Trace::with_capacity(64);
+        assert!(t.is_empty());
+        assert!((t.weight() - 1.0).abs() < f64::EPSILON);
+        for i in 0..64 {
+            t.push(BranchRecord::conditional(0x100 + i * 8, true));
+        }
+        assert_eq!(t.len(), 64);
+        t.reserve(128);
+        assert_eq!(t.len(), 64);
     }
 
     #[test]

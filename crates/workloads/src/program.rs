@@ -48,12 +48,11 @@ impl TraceBuilder {
     /// outer loops).
     #[must_use]
     pub fn new(input: &ProgramInput, limit: usize) -> Self {
-        Self {
-            trace: Trace::with_label(input.label.clone(), 1.0),
-            rng: SmallRng::seed_from_u64(input.seed),
-            limit,
-            noise_cursor: 0,
-        }
+        let mut trace = Trace::with_label(input.label.clone(), 1.0);
+        // Generators run right up to the branch budget, so reserve it
+        // up front instead of growing through repeated reallocation.
+        trace.reserve(limit);
+        Self { trace, rng: SmallRng::seed_from_u64(input.seed), limit, noise_cursor: 0 }
     }
 
     /// Emits a conditional branch.

@@ -468,7 +468,8 @@ fn gen_xalancbmk(b: &mut TraceBuilder, input: &ProgramInput) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use branchnet_tage::{evaluate, TageScL, TageSclConfig};
+    use branchnet_tage::{TageScL, TageSclConfig};
+    use branchnet_trace::run_one as evaluate;
 
     #[test]
     fn all_benchmarks_generate_requested_length() {

@@ -14,7 +14,8 @@
 //! cargo run --release --example manual_cnn
 //! ```
 
-use branchnet::tage::{evaluate_per_branch, TageScL, TageSclConfig};
+use branchnet::tage::{TageScL, TageSclConfig};
+use branchnet::trace::run_one_per_branch as evaluate_per_branch;
 use branchnet::trace::BranchRecord;
 use branchnet::workloads::motivating::{MotivatingConfig, MotivatingWorkload, PC_A, PC_B};
 

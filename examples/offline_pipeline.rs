@@ -16,8 +16,8 @@ use branchnet::core::config::BranchNetConfig;
 use branchnet::core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet::core::selection::{offline_train, PipelineOptions};
 use branchnet::core::trainer::TrainOptions;
-use branchnet::tage::{evaluate, Predictor, TageScL, TageSclConfig};
-use branchnet::trace::PredictionStats;
+use branchnet::tage::{TageScL, TageSclConfig};
+use branchnet::trace::Gauntlet;
 use branchnet::workloads::spec::{Benchmark, SpecSuite};
 
 fn main() {
@@ -48,17 +48,21 @@ fn main() {
         hybrid.attach(r.pc, AttachedModel::Float(m));
     }
 
-    let mut base_agg = PredictionStats::new();
-    let mut hybrid_agg = PredictionStats::new();
+    // Baseline and hybrid share one decode pass per test trace; the
+    // flush between traces gives each lane a cold (per-SimPoint) start
+    // while the hybrid keeps its frozen offline-trained models.
+    let mut gauntlet = Gauntlet::new();
+    let base_lane = gauntlet.add(TageScL::new(&baseline_cfg));
+    let hybrid_lane = gauntlet.add(hybrid);
     for t in &traces.test {
-        let mut base = TageScL::new(&baseline_cfg);
-        base_agg.merge(&evaluate(&mut base, t));
-        hybrid.reset_runtime_state();
-        hybrid_agg.merge(&evaluate(&mut hybrid, t));
+        gauntlet.run(t);
+        gauntlet.flush();
     }
+    let lanes = gauntlet.finish();
+    let (base_agg, hybrid_agg) = (&lanes[base_lane].stats, &lanes[hybrid_lane].stats);
     println!("\ntest-set results (unseen inputs):");
-    println!("  {:<24} MPKI {:.3}", hybrid.name(), hybrid_agg.mpki());
-    println!("  {:<24} MPKI {:.3}", "tage-sc-l-64kb", base_agg.mpki());
+    println!("  {:<24} MPKI {:.3}", lanes[hybrid_lane].name, hybrid_agg.mpki());
+    println!("  {:<24} MPKI {:.3}", lanes[base_lane].name, base_agg.mpki());
     println!(
         "  MPKI reduction: {:.1}%",
         100.0 * (base_agg.mpki() - hybrid_agg.mpki()) / base_agg.mpki()

@@ -1,17 +1,32 @@
 //! A tour of the runtime predictors: run every classic predictor over
-//! the same workloads and compare accuracy, MPKI, storage, and the IPC
-//! the pipeline model assigns them.
+//! the same workload in ONE pass — a multi-lane [`Gauntlet`] for the
+//! accuracy numbers, a multi-lane `simulate_many` for the IPC the
+//! pipeline model assigns them.
 //!
 //! ```text
 //! cargo run --release --example predictor_tour
 //! ```
+//!
+//! [`Gauntlet`]: branchnet::trace::Gauntlet
 
-use branchnet::sim::{simulate, CpuConfig};
+use branchnet::sim::{simulate_many, CpuConfig, DirectionSource};
 use branchnet::tage::{
-    evaluate, Bimodal, Gshare, HashedPerceptron, Perceptron, Predictor, TageScL, TageSclConfig,
-    TwoLevel,
+    Bimodal, Gshare, HashedPerceptron, Perceptron, Predictor, TageScL, TageSclConfig, TwoLevel,
 };
+use branchnet::trace::Gauntlet;
 use branchnet::workloads::spec::{Benchmark, SpecSuite};
+
+fn contenders() -> Vec<(&'static str, Box<dyn Predictor>)> {
+    vec![
+        ("bimodal (8KB)", Box::new(Bimodal::new(15, 2))),
+        ("gshare (4KB)", Box::new(Gshare::new(14, 12))),
+        ("2-level GAg (16b hist)", Box::new(TwoLevel::new(16, true))),
+        ("perceptron", Box::new(Perceptron::new(10, 32))),
+        ("hashed perceptron", Box::new(HashedPerceptron::default_config())),
+        ("TAGE-SC-L 64KB", Box::new(TageScL::new(&TageSclConfig::tage_sc_l_64kb()))),
+        ("MTAGE-SC (unlimited)", Box::new(TageScL::new(&TageSclConfig::mtage_sc_unlimited()))),
+    ]
+}
 
 fn main() {
     let bench = SpecSuite::benchmark(Benchmark::Leela);
@@ -20,35 +35,35 @@ fn main() {
     println!("workload: {} / {} ({} branches)\n", bench.name(), input.label, trace.len());
     println!("{:<22} {:>9} {:>8} {:>10} {:>6}", "predictor", "accuracy", "MPKI", "storage", "IPC");
 
+    // Accuracy/MPKI/storage: every predictor rides one decode of the
+    // trace as a gauntlet lane.
+    let mut gauntlet = Gauntlet::new();
+    let names: Vec<&str> = contenders()
+        .into_iter()
+        .map(|(name, predictor)| {
+            gauntlet.add_boxed(predictor);
+            name
+        })
+        .collect();
+    let storage_kb: Vec<f64> =
+        contenders().iter().map(|(_, p)| p.storage_bits() as f64 / 8.0 / 1024.0).collect();
+    gauntlet.run(&trace);
+    let lanes = gauntlet.finish();
+
+    // IPC: fresh predictors (cold start), all behind one shared early
+    // predictor in a single timing pass.
     let cpu = CpuConfig::skylake_like();
-    let report = |name: &str, p: &mut dyn Predictor| {
-        let stats = evaluate(p, &trace);
-        let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
-        (name.to_string(), stats.accuracy(), stats.mpki(), kb)
-    };
+    let mut fresh = contenders();
+    let mut late: Vec<&mut dyn DirectionSource> =
+        fresh.iter_mut().map(|(_, p)| p as &mut dyn DirectionSource).collect();
+    let sims = simulate_many(&trace, &mut late, &cpu);
 
-    let rows = vec![
-        report("bimodal (8KB)", &mut Bimodal::new(15, 2)),
-        report("gshare (4KB)", &mut Gshare::new(14, 12)),
-        report("2-level GAg (16b hist)", &mut TwoLevel::new(16, true)),
-        report("perceptron", &mut Perceptron::new(10, 32)),
-        report("hashed perceptron", &mut HashedPerceptron::default_config()),
-        report("TAGE-SC-L 64KB", &mut TageScL::new(&TageSclConfig::tage_sc_l_64kb())),
-        report("MTAGE-SC (unlimited)", &mut TageScL::new(&TageSclConfig::mtage_sc_unlimited())),
-    ];
-
-    // IPC needs a fresh predictor per run (cold start).
-    let ipcs = vec![
-        simulate(&trace, &mut Bimodal::new(15, 2), &cpu).ipc(),
-        simulate(&trace, &mut Gshare::new(14, 12), &cpu).ipc(),
-        simulate(&trace, &mut TwoLevel::new(16, true), &cpu).ipc(),
-        simulate(&trace, &mut Perceptron::new(10, 32), &cpu).ipc(),
-        simulate(&trace, &mut HashedPerceptron::default_config(), &cpu).ipc(),
-        simulate(&trace, &mut TageScL::new(&TageSclConfig::tage_sc_l_64kb()), &cpu).ipc(),
-        simulate(&trace, &mut TageScL::new(&TageSclConfig::mtage_sc_unlimited()), &cpu).ipc(),
-    ];
-
-    for ((name, acc, mpki, kb), ipc) in rows.into_iter().zip(ipcs) {
-        println!("{name:<22} {acc:>9.4} {mpki:>8.2} {kb:>8.1}KB {ipc:>6.2}");
+    for (((name, lane), kb), sim) in names.iter().zip(&lanes).zip(&storage_kb).zip(&sims) {
+        println!(
+            "{name:<22} {:>9.4} {:>8.2} {kb:>8.1}KB {:>6.2}",
+            lane.stats.accuracy(),
+            lane.stats.mpki(),
+            sim.ipc()
+        );
     }
 }

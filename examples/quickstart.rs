@@ -9,7 +9,8 @@ use branchnet::core::config::BranchNetConfig;
 use branchnet::core::dataset::extract;
 use branchnet::core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet::core::trainer::{train_model, TrainOptions};
-use branchnet::tage::{evaluate, evaluate_per_branch, TageScL, TageSclConfig};
+use branchnet::tage::{TageScL, TageSclConfig};
+use branchnet::trace::{run_one as evaluate, run_one_per_branch as evaluate_per_branch};
 use branchnet::workloads::motivating::{MotivatingConfig, MotivatingWorkload, PC_B};
 
 fn main() {

@@ -1,11 +1,15 @@
 # Strips the run-dependent tokens from reproduce_output.txt — section
-# wall-clock, summary seconds, total time, thread fan-out, and cache
-# counters — so two runs of the same tree byte-compare equal. Used by
-# the CI baseline-staleness check; everything else in the output is
-# deterministic at any BRANCHNET_THREADS.
+# wall-clock, summary seconds, gauntlet in-pass milliseconds, total
+# time, thread fan-out, and cache counters — so two runs of the same
+# tree byte-compare equal. Used by the CI baseline-staleness check;
+# everything else in the output is deterministic at any
+# BRANCHNET_THREADS. The gauntlet pass/lane counts are deterministic
+# (one pass per trace walked) and stay in the comparison.
 s/| threads: [0-9][0-9]*/| threads: T/
 s/^\(=== .*\) \[[0-9][0-9]*s\] ===$/\1 [Ts] ===/
 s/ *[0-9][0-9]*\.[0-9]s$/ T.Ts/
+s/ *[0-9][0-9]*\.[0-9]s  \[gauntlet:/ T.Ts  [gauntlet:/
+s/, [0-9][0-9]*ms\]$/, Tms]/
 s/^Done in [0-9][0-9]*s\.$/Done in Ts./
 s/^cache: .*/cache: C/
 s/^json report: .*/json report: R/

@@ -8,7 +8,8 @@ use branchnet::core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet::core::quantize::QuantizedMini;
 use branchnet::core::selection::{offline_train, PipelineOptions};
 use branchnet::core::trainer::TrainOptions;
-use branchnet::tage::{evaluate, TageScL, TageSclConfig};
+use branchnet::tage::{TageScL, TageSclConfig};
+use branchnet::trace::run_one as evaluate;
 use branchnet::trace::PredictionStats;
 use branchnet::workloads::spec::{Benchmark, SpecSuite};
 

@@ -1,7 +1,8 @@
 //! Property-based invariants over the public API, spanning crates.
 
 use branchnet::core::hashing::conv_hash;
-use branchnet::tage::{evaluate, AlwaysTaken, Predictor, TageScL, TageSclConfig};
+use branchnet::tage::{AlwaysTaken, Predictor, TageScL, TageSclConfig};
+use branchnet::trace::run_one as evaluate;
 use branchnet::trace::{BranchRecord, FoldedHistory, GlobalHistory, Trace};
 use proptest::prelude::*;
 

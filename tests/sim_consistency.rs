@@ -4,7 +4,8 @@
 
 use branchnet::core::hybrid::HybridPredictor;
 use branchnet::sim::{simulate, simulate_with_oracle, CpuConfig};
-use branchnet::tage::{evaluate, TageScL, TageSclConfig};
+use branchnet::tage::{TageScL, TageSclConfig};
+use branchnet::trace::run_one as evaluate;
 use branchnet::workloads::spec::{Benchmark, SpecSuite};
 
 #[test]
