@@ -115,7 +115,7 @@ fn trained_engine() -> InferenceEngine {
         &ds,
         &TrainOptions { epochs: 2, max_examples: 400, ..Default::default() },
     );
-    InferenceEngine::new(QuantizedMini::from_model(&model))
+    InferenceEngine::new(QuantizedMini::from_model(&model)).expect("hashed config")
 }
 
 fn bench_engine_datapath(c: &mut Criterion) {

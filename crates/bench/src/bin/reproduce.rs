@@ -181,12 +181,14 @@ fn main() {
         }
     }
     println!("cache: {}", ArtifactCache::global().stats().summary());
+    println!("degradation: {}", branchnet_core::degradation::snapshot().summary());
 
     if let Some(dir) = json_dir.as_ref() {
         let mut manifest = RunManifest::new(&scale, thread_count());
         manifest.artifacts = artifacts;
         manifest.sections = section_times;
         manifest.cache = ArtifactCache::global().stats();
+        manifest.degradation = branchnet_core::degradation::snapshot();
         std::fs::create_dir_all(dir).expect("creating --json directory");
         std::fs::write(dir.join(report::MANIFEST_FILE), {
             use branchnet_bench::json::ToJson;

@@ -25,6 +25,13 @@
 //! compute-once semantics even when parallel experiment threads race
 //! on the same key (losers block until the winner's value is ready).
 //! Hit/miss counters feed the `reproduce` summary.
+//!
+//! Every lookup also carries a caller-supplied *validator*
+//! (DESIGN.md §9): a cached artifact that fails validation is evicted
+//! (guarded by `Arc::ptr_eq`, so a racing thread's fresh replacement
+//! is never clobbered) and recomputed exactly once per lookup.
+//! Evictions are counted in [`CacheStats::evictions`] and surfaced in
+//! the degradation report.
 
 use crate::experiments::mini_pack::TrainedMenu;
 use crate::harness::{Scale, TrainedPack};
@@ -60,6 +67,9 @@ pub struct CacheStats {
     pub menu_hits: u64,
     /// Menu trainings performed.
     pub menu_misses: u64,
+    /// Entries evicted after failing validation (each one triggered a
+    /// recompute).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -68,13 +78,14 @@ impl CacheStats {
     pub fn summary(&self) -> String {
         format!(
             "trace sets: {} generated, {} reused | packs: {} trained, {} reused | \
-             menus: {} trained, {} reused",
+             menus: {} trained, {} reused | {} evicted",
             self.trace_misses,
             self.trace_hits,
             self.pack_misses,
             self.pack_hits,
             self.menu_misses,
-            self.menu_hits
+            self.menu_hits,
+            self.evictions
         )
     }
 }
@@ -91,38 +102,75 @@ pub struct ArtifactCache {
     pack_misses: AtomicU64,
     menu_hits: AtomicU64,
     menu_misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Looks up `key`, computing the value at most once per key across
 /// all threads. The map lock is held only to fetch the per-key cell,
 /// never during `compute`, so distinct keys build concurrently while
 /// racing lookups of one key block on its [`OnceLock`].
+///
+/// A value that fails `validate` is evicted and recomputed **once**:
+/// the eviction is guarded by `Arc::ptr_eq` against the fetched cell,
+/// so if another thread already evicted and replaced the entry, its
+/// fresh value is reused instead of being clobbered. If the recomputed
+/// value fails validation too it is returned as-is (callers see their
+/// own inputs' brokenness rather than looping).
 fn get_or_compute<K, V>(
     map: &Memo<K, V>,
     hits: &AtomicU64,
     misses: &AtomicU64,
+    evictions: &AtomicU64,
     key: K,
-    compute: impl FnOnce() -> V,
+    compute: impl Fn() -> V,
+    validate: impl Fn(&V) -> bool,
 ) -> V
 where
-    K: Eq + Hash,
+    K: Eq + Hash + Clone,
     V: Clone,
 {
     let cell = {
         let mut m = map.lock().expect("cache map poisoned");
-        Arc::clone(m.entry(key).or_insert_with(|| Arc::new(OnceLock::new())))
+        Arc::clone(m.entry(key.clone()).or_insert_with(|| Arc::new(OnceLock::new())))
     };
     let mut computed = false;
-    let value = cell.get_or_init(|| {
-        computed = true;
-        compute()
-    });
+    let value = cell
+        .get_or_init(|| {
+            computed = true;
+            compute()
+        })
+        .clone();
     if computed {
         misses.fetch_add(1, Ordering::Relaxed);
     } else {
         hits.fetch_add(1, Ordering::Relaxed);
     }
-    value.clone()
+    if validate(&value) {
+        return value;
+    }
+    evictions.fetch_add(1, Ordering::Relaxed);
+    // Swap in a fresh cell unless another thread already did.
+    let fresh_cell = {
+        let mut m = map.lock().expect("cache map poisoned");
+        let entry = m.entry(key).or_insert_with(|| Arc::new(OnceLock::new()));
+        if Arc::ptr_eq(entry, &cell) {
+            *entry = Arc::new(OnceLock::new());
+        }
+        Arc::clone(entry)
+    };
+    let mut recomputed = false;
+    let value = fresh_cell
+        .get_or_init(|| {
+            recomputed = true;
+            compute()
+        })
+        .clone();
+    if recomputed {
+        misses.fetch_add(1, Ordering::Relaxed);
+    } else {
+        hits.fetch_add(1, Ordering::Relaxed);
+    }
+    value
 }
 
 impl ArtifactCache {
@@ -134,57 +182,69 @@ impl ArtifactCache {
     }
 
     /// The trace set for `bench` at `branches_per_trace` branches per
-    /// trace, generating it on first use.
+    /// trace, generating it on first use. A cached set that fails
+    /// `validate` is evicted and regenerated once.
     pub fn trace_set(
         &self,
         bench: Benchmark,
         branches_per_trace: usize,
-        compute: impl FnOnce() -> TraceSet,
+        compute: impl Fn() -> TraceSet,
+        validate: impl Fn(&TraceSet) -> bool,
     ) -> Arc<TraceSet> {
         get_or_compute(
             &self.traces,
             &self.trace_hits,
             &self.trace_misses,
+            &self.evictions,
             (bench, branches_per_trace),
             || Arc::new(compute()),
+            |v| validate(v),
         )
     }
 
     /// The trained pack for `(config, baseline, bench, scale)`,
-    /// training it on first use.
+    /// training it on first use. A cached pack that fails `validate`
+    /// is evicted and retrained once.
     pub fn pack(
         &self,
         config: &BranchNetConfig,
         baseline: &TageSclConfig,
         bench: Benchmark,
         scale: &Scale,
-        compute: impl FnOnce() -> TrainedPack,
+        compute: impl Fn() -> TrainedPack,
+        validate: impl Fn(&TrainedPack) -> bool,
     ) -> Arc<TrainedPack> {
         get_or_compute(
             &self.packs,
             &self.pack_hits,
             &self.pack_misses,
+            &self.evictions,
             (format!("{config:?}"), format!("{baseline:?}"), bench, *scale),
             || Arc::new(compute()),
+            |v| validate(v),
         )
     }
 
     /// The trained Mini menu for `(menu, baseline, bench, scale)`,
-    /// training it on first use.
+    /// training it on first use. A cached menu that fails `validate`
+    /// is evicted and retrained once.
     pub fn menu(
         &self,
         menu: &[(BranchNetConfig, usize)],
         baseline: &TageSclConfig,
         bench: Benchmark,
         scale: &Scale,
-        compute: impl FnOnce() -> TrainedMenu,
+        compute: impl Fn() -> TrainedMenu,
+        validate: impl Fn(&TrainedMenu) -> bool,
     ) -> Arc<TrainedMenu> {
         get_or_compute(
             &self.menus,
             &self.menu_hits,
             &self.menu_misses,
+            &self.evictions,
             (format!("{menu:?}"), format!("{baseline:?}"), bench, *scale),
             || Arc::new(compute()),
+            |v| validate(v),
         )
     }
 
@@ -198,6 +258,7 @@ impl ArtifactCache {
             pack_misses: self.pack_misses.load(Ordering::Relaxed),
             menu_hits: self.menu_hits.load(Ordering::Relaxed),
             menu_misses: self.menu_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -211,30 +272,44 @@ mod tests {
         TraceSet { train: vec![Trace::new()], valid: vec![Trace::new()], test: vec![Trace::new()] }
     }
 
+    fn always_valid(_: &TraceSet) -> bool {
+        true
+    }
+
     #[test]
     fn trace_set_computed_once_and_shared() {
         let cache = ArtifactCache::default();
-        let mut calls = 0u32;
-        let a = cache.trace_set(Benchmark::Xz, 123, || {
-            calls += 1;
-            tiny_trace_set()
-        });
-        let b = cache.trace_set(Benchmark::Xz, 123, || {
-            calls += 1;
-            tiny_trace_set()
-        });
-        assert_eq!(calls, 1, "second lookup must hit the cache");
+        let calls = AtomicU64::new(0);
+        let a = cache.trace_set(
+            Benchmark::Xz,
+            123,
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                tiny_trace_set()
+            },
+            always_valid,
+        );
+        let b = cache.trace_set(
+            Benchmark::Xz,
+            123,
+            || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                tiny_trace_set()
+            },
+            always_valid,
+        );
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "second lookup must hit the cache");
         assert!(Arc::ptr_eq(&a, &b), "hits share one allocation");
         let s = cache.stats();
-        assert_eq!((s.trace_misses, s.trace_hits), (1, 1));
+        assert_eq!((s.trace_misses, s.trace_hits, s.evictions), (1, 1, 0));
     }
 
     #[test]
     fn distinct_keys_compute_separately() {
         let cache = ArtifactCache::default();
-        cache.trace_set(Benchmark::Xz, 10, tiny_trace_set);
-        cache.trace_set(Benchmark::Xz, 20, tiny_trace_set);
-        cache.trace_set(Benchmark::Leela, 10, tiny_trace_set);
+        cache.trace_set(Benchmark::Xz, 10, tiny_trace_set, always_valid);
+        cache.trace_set(Benchmark::Xz, 20, tiny_trace_set, always_valid);
+        cache.trace_set(Benchmark::Leela, 10, tiny_trace_set, always_valid);
         let s = cache.stats();
         assert_eq!((s.trace_misses, s.trace_hits), (3, 0));
     }
@@ -246,10 +321,15 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 scope.spawn(|| {
-                    cache.trace_set(Benchmark::Mcf, 7, || {
-                        computes.fetch_add(1, Ordering::Relaxed);
-                        tiny_trace_set()
-                    });
+                    cache.trace_set(
+                        Benchmark::Mcf,
+                        7,
+                        || {
+                            computes.fetch_add(1, Ordering::Relaxed);
+                            tiny_trace_set()
+                        },
+                        always_valid,
+                    );
                 });
             }
         });
@@ -257,5 +337,62 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.trace_misses, 1);
         assert_eq!(s.trace_hits, 7);
+    }
+
+    #[test]
+    fn invalid_entry_is_evicted_and_recomputed_once() {
+        let cache = ArtifactCache::default();
+        let computes = AtomicU64::new(0);
+        // First build produces an "empty" (invalid) set; the validator
+        // rejects it, forcing one eviction and one recompute.
+        let got = cache.trace_set(
+            Benchmark::Xz,
+            5,
+            || {
+                let n = computes.fetch_add(1, Ordering::Relaxed);
+                if n == 0 {
+                    TraceSet { train: vec![], valid: vec![], test: vec![] }
+                } else {
+                    tiny_trace_set()
+                }
+            },
+            |ts| !ts.train.is_empty(),
+        );
+        assert_eq!(computes.load(Ordering::Relaxed), 2);
+        assert!(!got.train.is_empty(), "caller receives the recomputed value");
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.trace_misses, 2);
+
+        // The healthy replacement stays cached: the next lookup hits.
+        let again = cache.trace_set(
+            Benchmark::Xz,
+            5,
+            || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                tiny_trace_set()
+            },
+            |ts| !ts.train.is_empty(),
+        );
+        assert_eq!(computes.load(Ordering::Relaxed), 2);
+        assert!(Arc::ptr_eq(&got, &again));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn persistently_invalid_entry_is_returned_after_one_retry() {
+        // An artifact whose recompute is also invalid must not loop:
+        // the caller gets the (still-invalid) value back and each
+        // subsequent lookup pays exactly one more eviction + rebuild.
+        let cache = ArtifactCache::default();
+        let computes = AtomicU64::new(0);
+        let build = || {
+            computes.fetch_add(1, Ordering::Relaxed);
+            TraceSet { train: vec![], valid: vec![], test: vec![] }
+        };
+        let got = cache.trace_set(Benchmark::Mcf, 9, build, |ts| !ts.train.is_empty());
+        assert!(got.train.is_empty());
+        assert_eq!(computes.load(Ordering::Relaxed), 2, "exactly one retry per lookup");
+        assert_eq!(cache.stats().evictions, 1);
     }
 }

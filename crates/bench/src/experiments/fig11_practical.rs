@@ -120,7 +120,12 @@ fn lane_setting(results: &[Vec<SimResult>], traces: &TraceSet, lane: usize) -> S
 fn engine_hybrid(pack: &MiniPack, baseline: &TageSclConfig) -> HybridPredictor {
     let mut hybrid = HybridPredictor::new(baseline);
     for (pc, q) in &pack.models {
-        hybrid.attach(*pc, AttachedModel::Engine(InferenceEngine::new(q.clone())));
+        hybrid
+            .attach(
+                *pc,
+                AttachedModel::Engine(InferenceEngine::new(q.clone()).expect("hashed config")),
+            )
+            .expect("hashed config");
     }
     hybrid
 }

@@ -63,7 +63,12 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark], budgets_kb: &[usize]) -> Vec
                 let models = pack.models.len();
                 let mut hybrid = HybridPredictor::new(&baseline);
                 for (pc, q) in pack.models {
-                    hybrid.attach(pc, AttachedModel::Engine(InferenceEngine::new(q)));
+                    hybrid
+                        .attach(
+                            pc,
+                            AttachedModel::Engine(InferenceEngine::new(q).expect("hashed config")),
+                        )
+                        .expect("hashed config");
                 }
                 (kb, models, hybrid)
             })

@@ -24,7 +24,7 @@ use branchnet_core::dataset::extract;
 use branchnet_core::quantize::{QuantMode, QuantizedMini};
 use branchnet_core::selection::{assign_budget, rank_hard_branches, BudgetItem, PipelineOptions};
 use branchnet_core::storage::storage_breakdown;
-use branchnet_core::trainer::train_model;
+use branchnet_core::trainer::train_model_resilient;
 use branchnet_tage::TageSclConfig;
 use branchnet_trace::TraceSet;
 use branchnet_workloads::spec::Benchmark;
@@ -162,7 +162,15 @@ pub fn train_menu(
                 choices.push((usize::MAX / 4, f64::NEG_INFINITY));
                 continue;
             }
-            let (model, _) = train_model(config, &train_ds, &opts.train);
+            // Resilient training (DESIGN.md §9): a diverged run retries
+            // with a reseeded init; a candidate whose every attempt
+            // diverges gets no menu entry for this config, exactly like
+            // one with too few examples.
+            let Some((model, _)) = train_model_resilient(config, &train_ds, &opts.train) else {
+                entries.push(None);
+                choices.push((usize::MAX / 4, f64::NEG_INFINITY));
+                continue;
+            };
             let quant = QuantizedMini::from_model(&model);
             let mut valid_ds = extract(&traces.valid, pc, config.window_len(), config.pc_bits);
             valid_ds.subsample(opts.train.max_examples);
@@ -199,10 +207,28 @@ pub fn cached_menu(
     scale: &Scale,
     menu: &[(BranchNetConfig, usize)],
 ) -> Arc<TrainedMenu> {
-    ArtifactCache::global().menu(menu, baseline, bench, scale, || {
-        let traces = trace_set(bench, scale);
-        train_menu(&traces, baseline, scale, menu)
-    })
+    ArtifactCache::global().menu(
+        menu,
+        baseline,
+        bench,
+        scale,
+        || {
+            let traces = trace_set(bench, scale);
+            train_menu(&traces, baseline, scale, menu)
+        },
+        valid_menu,
+    )
+}
+
+/// Whether a cached menu is usable: every knapsack choice value finite
+/// or the `NEG_INFINITY` no-entry sentinel (a NaN would silently
+/// corrupt every budget assignment solved from the menu).
+#[must_use]
+pub fn valid_menu(menu: &TrainedMenu) -> bool {
+    menu.items
+        .iter()
+        .flat_map(|item| item.choices.iter())
+        .all(|&(_, avoided)| avoided.is_finite() || avoided == f64::NEG_INFINITY)
 }
 
 /// Solves the `budget_bytes` assignment over an already-trained menu

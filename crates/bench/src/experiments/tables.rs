@@ -166,7 +166,7 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
     let big_pack = cached_pack(&BranchNetConfig::big_scaled(), &baseline, bench, scale);
     let mut big_hybrid = HybridPredictor::new(&baseline);
     for (r, m) in &big_pack.models {
-        big_hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
+        big_hybrid.attach(r.pc, AttachedModel::Float(m.clone())).expect("float attach");
     }
 
     // Mini models (2 KB config) for the same branches.
@@ -178,7 +178,7 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
     let mut big_same_hybrid = HybridPredictor::new(&baseline);
     for (r, m) in &big_pack.models {
         if mini_pcs.contains(&r.pc) {
-            big_same_hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
+            big_same_hybrid.attach(r.pc, AttachedModel::Float(m.clone())).expect("float attach");
         }
     }
 
@@ -188,9 +188,14 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
     let mut full_hybrid = HybridPredictor::new(&baseline);
     for (r, m) in &mini_pack.models {
         let quant = QuantizedMini::from_model(m);
-        conv_hybrid.attach(r.pc, AttachedModel::ConvQuant(quant.clone()));
-        full_hybrid.attach(r.pc, AttachedModel::Engine(InferenceEngine::new(quant)));
-        float_hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
+        conv_hybrid.attach(r.pc, AttachedModel::ConvQuant(quant.clone())).expect("hashed config");
+        full_hybrid
+            .attach(
+                r.pc,
+                AttachedModel::Engine(InferenceEngine::new(quant).expect("hashed config")),
+            )
+            .expect("hashed config");
+        float_hybrid.attach(r.pc, AttachedModel::Float(m.clone())).expect("float attach");
     }
 
     // The baseline and all five rungs share one gauntlet pass per test

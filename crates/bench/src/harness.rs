@@ -94,13 +94,43 @@ impl Scale {
     }
 }
 
+/// Whether a cached trace set is usable: every partition non-empty and
+/// every trace weight finite and positive. A set failing this check
+/// (e.g. a stale cache entry from a torn load) is evicted and
+/// regenerated.
+#[must_use]
+pub fn valid_trace_set(ts: &TraceSet) -> bool {
+    let partitions = [&ts.train, &ts.valid, &ts.test];
+    partitions.iter().all(|p| !p.is_empty())
+        && partitions
+            .iter()
+            .flat_map(|p| p.iter())
+            .all(|t| t.weight().is_finite() && t.weight() > 0.0)
+}
+
+/// Whether a trained pack is usable: every candidate score finite. A
+/// diverged score would silently poison knapsack assignment and every
+/// downstream MPKI.
+#[must_use]
+pub fn valid_pack(pack: &TrainedPack) -> bool {
+    pack.models.iter().all(|(r, _)| {
+        r.baseline_accuracy.is_finite()
+            && r.model_accuracy.is_finite()
+            && r.occurrences.is_finite()
+            && r.mispredictions_avoided.is_finite()
+    })
+}
+
 /// The Table III trace set for one benchmark at this scale, generated
 /// once per process and shared via the [`ArtifactCache`].
 #[must_use]
 pub fn trace_set(bench: Benchmark, scale: &Scale) -> Arc<TraceSet> {
-    ArtifactCache::global().trace_set(bench, scale.branches_per_trace, || {
-        SpecSuite::benchmark(bench).trace_set(scale.branches_per_trace)
-    })
+    ArtifactCache::global().trace_set(
+        bench,
+        scale.branches_per_trace,
+        || SpecSuite::benchmark(bench).trace_set(scale.branches_per_trace),
+        valid_trace_set,
+    )
 }
 
 /// A factory for one gauntlet lane: called once per test trace to
@@ -201,10 +231,17 @@ pub fn cached_pack(
     bench: Benchmark,
     scale: &Scale,
 ) -> Arc<TrainedPack> {
-    ArtifactCache::global().pack(config, baseline, bench, scale, || {
-        let traces = trace_set(bench, scale);
-        train_pack(config, baseline, &traces, scale)
-    })
+    ArtifactCache::global().pack(
+        config,
+        baseline,
+        bench,
+        scale,
+        || {
+            let traces = trace_set(bench, scale);
+            train_pack(config, baseline, &traces, scale)
+        },
+        valid_pack,
+    )
 }
 
 /// Assembles a hybrid from a pack's top `limit` float models (cloning
@@ -213,7 +250,7 @@ pub fn cached_pack(
 pub fn float_hybrid(pack: &TrainedPack, baseline: &TageSclConfig, limit: usize) -> HybridPredictor {
     let mut hybrid = HybridPredictor::new(baseline);
     for (r, m) in pack.models.iter().take(limit) {
-        hybrid.attach(r.pc, AttachedModel::Float(m.clone()));
+        hybrid.attach(r.pc, AttachedModel::Float(m.clone())).expect("float models always attach");
     }
     hybrid
 }

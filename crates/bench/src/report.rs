@@ -31,6 +31,7 @@ use crate::experiments::tables::Table4Report;
 use crate::json::{arr_from_json, arr_to_json, FromJson, Json, JsonError, ToJson};
 use crate::parallel::thread_count;
 use crate::Scale;
+use branchnet_core::degradation::DegradationSnapshot;
 use branchnet_workloads::spec::Benchmark;
 use std::path::{Path, PathBuf};
 
@@ -266,6 +267,7 @@ impl ToJson for CacheStats {
             ("pack_misses", num(self.pack_misses)),
             ("menu_hits", num(self.menu_hits)),
             ("menu_misses", num(self.menu_misses)),
+            ("evictions", num(self.evictions)),
         ])
     }
 }
@@ -273,6 +275,9 @@ impl ToJson for CacheStats {
 impl FromJson for CacheStats {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         let num = |k: &str| json.field(k).and_then(|v| v.as_usize().map(|n| n as u64));
+        // `evictions` postdates the first manifests; absent means 0 so
+        // older runs still parse.
+        let opt = |k: &str| json.get(k).map_or(Ok(0), |v| v.as_usize().map(|n| n as u64));
         Ok(Self {
             trace_hits: num("trace_hits")?,
             trace_misses: num("trace_misses")?,
@@ -280,6 +285,26 @@ impl FromJson for CacheStats {
             pack_misses: num("pack_misses")?,
             menu_hits: num("menu_hits")?,
             menu_misses: num("menu_misses")?,
+            evictions: opt("evictions")?,
+        })
+    }
+}
+
+impl ToJson for DegradationSnapshot {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("packs_rejected", Json::Num(self.packs_rejected as f64)),
+            ("trainings_retried", Json::Num(self.trainings_retried as f64)),
+        ])
+    }
+}
+
+impl FromJson for DegradationSnapshot {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let num = |k: &str| json.field(k).and_then(|v| v.as_usize().map(|n| n as u64));
+        Ok(Self {
+            packs_rejected: num("packs_rejected")?,
+            trainings_retried: num("trainings_retried")?,
         })
     }
 }
@@ -302,6 +327,9 @@ pub struct RunManifest {
     pub sections: Vec<SectionTime>,
     /// Artifact-cache hit/miss counters at the end of the run.
     pub cache: CacheStats,
+    /// Graceful-degradation counters at the end of the run (rejected
+    /// packs, retried trainings; DESIGN.md §9). Zero on a healthy run.
+    pub degradation: DegradationSnapshot,
 }
 
 impl RunManifest {
@@ -315,6 +343,7 @@ impl RunManifest {
             artifacts: Vec::new(),
             sections: Vec::new(),
             cache: CacheStats::default(),
+            degradation: DegradationSnapshot::default(),
         }
     }
 }
@@ -328,6 +357,7 @@ impl ToJson for RunManifest {
             ("artifacts", Json::Arr(self.artifacts.iter().map(|a| Json::Str(a.clone())).collect())),
             ("sections", arr_to_json(&self.sections)),
             ("cache", self.cache.to_json()),
+            ("degradation", self.degradation.to_json()),
         ])
     }
 }
@@ -346,6 +376,13 @@ impl FromJson for RunManifest {
                 .collect::<Result<_, _>>()?,
             sections: arr_from_json(json.field("sections")?)?,
             cache: CacheStats::from_json(json.field("cache")?)?,
+            // Absent in manifests written before the degradation
+            // counters existed; default to a clean snapshot.
+            degradation: json
+                .get("degradation")
+                .map(DegradationSnapshot::from_json)
+                .transpose()?
+                .unwrap_or_default(),
         })
     }
 }
@@ -433,6 +470,7 @@ pub fn write_single_run(
         gauntlet: GauntletUsage::from_delta(&crate::metrics::snapshot()),
     }];
     manifest.cache = ArtifactCache::global().stats();
+    manifest.degradation = branchnet_core::degradation::snapshot();
     let run = RunReport { manifest, experiments: vec![exp] };
     run.write(dir)?;
     println!("json report: {}", dir.display());

@@ -34,16 +34,38 @@ impl SliceConfig {
         self.history / self.pool_width
     }
 
+    /// Non-panicking structural validation. Model files decode into
+    /// this type, so the bounds here are the first line of defense
+    /// against corrupted packs (DESIGN.md §9): a zero pool width would
+    /// divide by zero in [`Self::pooled_len`], an absurd history would
+    /// drive giant allocations downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first violated invariant.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.history == 0 || self.channels == 0 || self.pool_width == 0 {
+            return Err("slice knobs must be positive");
+        }
+        if self.history > 1 << 20 || self.channels > 1 << 12 {
+            return Err("implausible slice size");
+        }
+        if !self.history.is_multiple_of(self.pool_width) {
+            return Err("slice history must be a multiple of pool width");
+        }
+        Ok(())
+    }
+
     /// Validates divisibility of history by pooling width.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violated invariant (see [`Self::check`] for
+    /// the non-panicking form).
     pub fn validate(&self) {
-        assert!(self.history > 0 && self.channels > 0 && self.pool_width > 0);
-        assert_eq!(
-            self.history % self.pool_width,
-            0,
-            "slice history {} must be a multiple of pool width {}",
-            self.history,
-            self.pool_width
-        );
+        if let Err(e) = self.check() {
+            panic!("{e} (history {}, pool width {})", self.history, self.pool_width);
+        }
     }
 }
 
@@ -282,27 +304,65 @@ impl BranchNetConfig {
         self.conv_hash_bits.is_some()
     }
 
+    /// Non-panicking structural validation. Deserialized configs are
+    /// untrusted (a corrupted model pack decodes into this type), so
+    /// every knob a datapath divides by, shifts by, or allocates from
+    /// is bounded here; `read_model` turns a failure into a typed
+    /// `Corrupt` error instead of a downstream panic (DESIGN.md §9).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first violated invariant.
+    pub fn check(&self) -> Result<(), &'static str> {
+        if self.slices.is_empty() {
+            return Err("at least one slice required");
+        }
+        if self.slices.len() > 16 {
+            return Err("implausible slice count");
+        }
+        for s in &self.slices {
+            s.check()?;
+        }
+        if !(1..=20).contains(&self.pc_bits) {
+            return Err("pc bits out of range");
+        }
+        if self.conv_width == 0 || self.conv_width.is_multiple_of(2) || self.conv_width > 63 {
+            return Err("odd conv width required");
+        }
+        match self.conv_hash_bits {
+            Some(h) if !(2..=16).contains(&h) => return Err("hash bits out of range"),
+            None if self.embedding_dim == 0 => {
+                return Err("embedding required without hashed convolution")
+            }
+            _ => {}
+        }
+        if self.embedding_dim > 1 << 12 {
+            return Err("implausible embedding size");
+        }
+        if let Some(q) = self.fc_quant_bits {
+            if !(2..=8).contains(&q) {
+                return Err("fc quant bits out of range");
+            }
+        }
+        if self.hidden.is_empty() {
+            return Err("at least one hidden FC layer required");
+        }
+        if self.hidden.iter().any(|&n| n == 0 || n > 1 << 12) {
+            return Err("implausible hidden width");
+        }
+        Ok(())
+    }
+
     /// Validates internal consistency.
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent knobs.
+    /// Panics on inconsistent knobs (see [`Self::check`] for the
+    /// non-panicking form untrusted decoders use).
     pub fn validate(&self) {
-        assert!(!self.slices.is_empty(), "at least one slice required");
-        for s in &self.slices {
-            s.validate();
+        if let Err(e) = self.check() {
+            panic!("invalid config '{}': {e}", self.name);
         }
-        assert!(self.pc_bits >= 1 && self.pc_bits <= 20);
-        assert!(self.conv_width >= 1 && self.conv_width % 2 == 1, "odd conv width required");
-        if let Some(h) = self.conv_hash_bits {
-            assert!((2..=16).contains(&h));
-        } else {
-            assert!(self.embedding_dim > 0, "embedding required without hashed convolution");
-        }
-        if let Some(q) = self.fc_quant_bits {
-            assert!((2..=8).contains(&q));
-        }
-        assert!(!self.hidden.is_empty(), "at least one hidden FC layer required");
     }
 }
 

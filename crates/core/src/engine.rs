@@ -26,6 +26,27 @@ use crate::storage::{storage_breakdown, StorageBreakdown};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
+/// A quantized/engine model was built on a config without a
+/// convolution hash: the streaming datapaths look up hashed
+/// convolution tables, so such a model can never run on the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonHashedConfig {
+    /// Name of the offending config.
+    pub config: String,
+}
+
+impl std::fmt::Display for NonHashedConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "config '{}' has no convolution hash (conv_hash_bits = None) and cannot stream",
+            self.config
+        )
+    }
+}
+
+impl std::error::Error for NonHashedConfig {}
+
 /// Per-slice streaming state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum SliceState {
@@ -35,6 +56,25 @@ enum SliceState {
     /// Completed window sums (newest at the back, up to `H/P`), the
     /// running partial sum, and the window phase counter.
     Sliding { completed: VecDeque<Vec<i32>>, partial: Vec<i32>, phase: usize },
+}
+
+/// Cold per-slice streaming state for `model`.
+fn fresh_slices(model: &QuantizedMini) -> Vec<SliceState> {
+    model
+        .slices()
+        .iter()
+        .map(|s| {
+            if s.cfg.precise_pooling {
+                SliceState::Precise { signs: VecDeque::with_capacity(s.cfg.history) }
+            } else {
+                SliceState::Sliding {
+                    completed: VecDeque::with_capacity(s.cfg.pooled_len()),
+                    partial: vec![0; s.cfg.channels],
+                    phase: 0,
+                }
+            }
+        })
+        .collect()
 }
 
 /// A snapshot of engine state for misprediction recovery.
@@ -56,38 +96,22 @@ pub struct InferenceEngine {
 impl InferenceEngine {
     /// Wraps a quantized model with fresh streaming state.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the model's config is not hashed
+    /// Returns [`NonHashedConfig`] if the model's config is not hashed
     /// (`conv_hash_bits: None`): the streaming update path looks up
     /// hashed convolution tables, so a float/Big-style config can
     /// never run on the engine. Rejecting it here (rather than deep in
-    /// [`update`](Self::update)) gives the caller an actionable error
-    /// at construction time.
-    #[must_use]
-    pub fn new(model: QuantizedMini) -> Self {
-        assert!(
-            model.config().is_hashed(),
-            "InferenceEngine requires a hashed model config (conv_hash_bits = Some): \
-             config '{}' has no convolution hash and cannot stream",
-            model.config().name
-        );
-        let slices = model
-            .slices()
-            .iter()
-            .map(|s| {
-                if s.cfg.precise_pooling {
-                    SliceState::Precise { signs: VecDeque::with_capacity(s.cfg.history) }
-                } else {
-                    SliceState::Sliding {
-                        completed: VecDeque::with_capacity(s.cfg.pooled_len()),
-                        partial: vec![0; s.cfg.channels],
-                        phase: 0,
-                    }
-                }
-            })
-            .collect();
-        Self { recent: VecDeque::with_capacity(8), model, slices }
+    /// [`update`](Self::update)) gives the caller a typed, actionable
+    /// error at construction time — the OS-load failure model of
+    /// Section V-F, where a bad pack must degrade to the runtime
+    /// baseline instead of crashing.
+    pub fn new(model: QuantizedMini) -> Result<Self, NonHashedConfig> {
+        if !model.config().is_hashed() {
+            return Err(NonHashedConfig { config: model.config().name.clone() });
+        }
+        let slices = fresh_slices(&model);
+        Ok(Self { recent: VecDeque::with_capacity(8), model, slices })
     }
 
     /// The quantized model this engine executes.
@@ -187,9 +211,8 @@ impl InferenceEngine {
     /// Clears all streaming state (e.g. at a context switch, before
     /// the OS reloads models for another process — Section V-F).
     pub fn reset(&mut self) {
-        let fresh = InferenceEngine::new(self.model.clone());
-        self.recent = fresh.recent;
-        self.slices = fresh.slices;
+        self.recent = VecDeque::with_capacity(8);
+        self.slices = fresh_slices(&self.model);
     }
 
     /// Captures the streaming state (Section V-C recovery: shadow
@@ -266,7 +289,7 @@ mod tests {
         // With every slice precise, the streaming engine must agree
         // with QuantizedMini::predict on the same history window.
         let quant = quick_model(true);
-        let mut engine = InferenceEngine::new(quant.clone());
+        let mut engine = InferenceEngine::new(quant.clone()).unwrap();
         let s = stream(64);
         for (i, &e) in s.iter().enumerate() {
             engine.update(e);
@@ -286,7 +309,7 @@ mod tests {
         // With sliding pooling the engine may lag up to P-1 branches;
         // it must still produce *a* stable prediction every cycle.
         let quant = quick_model(false);
-        let mut engine = InferenceEngine::new(quant);
+        let mut engine = InferenceEngine::new(quant).unwrap();
         for &e in &stream(100) {
             engine.update(e);
             let a = engine.predict();
@@ -298,7 +321,7 @@ mod tests {
     #[test]
     fn checkpoint_restore_round_trips() {
         let quant = quick_model(false);
-        let mut engine = InferenceEngine::new(quant);
+        let mut engine = InferenceEngine::new(quant).unwrap();
         let s = stream(40);
         for &e in &s[..20] {
             engine.update(e);
@@ -319,12 +342,12 @@ mod tests {
         let quant = quick_model(false);
         let s = stream(60);
         // Straight run.
-        let mut a = InferenceEngine::new(quant.clone());
+        let mut a = InferenceEngine::new(quant.clone()).unwrap();
         for &e in &s {
             a.update(e);
         }
         // Checkpointed run with a flush in the middle.
-        let mut b = InferenceEngine::new(quant);
+        let mut b = InferenceEngine::new(quant).unwrap();
         for &e in &s[..30] {
             b.update(e);
         }
@@ -343,7 +366,7 @@ mod tests {
     #[test]
     fn cold_engine_still_predicts() {
         let quant = quick_model(true);
-        let engine = InferenceEngine::new(quant);
+        let engine = InferenceEngine::new(quant).unwrap();
         // No updates at all: zero-padded state must not panic.
         let _ = engine.predict();
     }
@@ -351,7 +374,7 @@ mod tests {
     #[test]
     fn storage_matches_config_breakdown() {
         let quant = quick_model(false);
-        let engine = InferenceEngine::new(quant.clone());
+        let engine = InferenceEngine::new(quant.clone()).unwrap();
         assert_eq!(engine.storage().total_bits(), storage_breakdown(quant.config()).total_bits());
     }
 }

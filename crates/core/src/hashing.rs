@@ -105,7 +105,7 @@ mod tests {
         // 256-entry table.
         let mut seen = std::collections::HashSet::new();
         for i in 0..256u32 {
-            let entries = [i * 2654435761 % 8192, i, i ^ 0x55];
+            let entries = [i.wrapping_mul(2654435761) % 8192, i, i ^ 0x55];
             seen.insert(conv_hash(&entries, 2, 3, 8));
         }
         assert!(seen.len() > 140, "only {} distinct buckets", seen.len());

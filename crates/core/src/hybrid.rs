@@ -4,13 +4,45 @@
 //! branches and state-of-the-art runtime predictors for all other
 //! branches").
 
-use crate::engine::InferenceEngine;
+use crate::engine::{InferenceEngine, NonHashedConfig};
 use crate::model::BranchNetModel;
+use crate::persist::ReadModelError;
 use crate::quantize::{QuantMode, QuantizedMini};
 use branchnet_tage::{Predictor, TageScL, TageSclConfig};
 use branchnet_trace::BranchRecord;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+
+/// Why a model could not be attached to the hybrid. Every rejection
+/// leaves the branch on the TAGE-SC-L lane and is counted in
+/// [`HybridStats::packs_rejected`] — the graceful-degradation contract
+/// of DESIGN.md §9.
+#[derive(Debug)]
+pub enum AttachError {
+    /// A quantized/engine model was built on a config without a
+    /// convolution hash; its datapath cannot run.
+    NonHashed(NonHashedConfig),
+    /// The serialized model pack failed to decode or validate.
+    BadPack(ReadModelError),
+}
+
+impl std::fmt::Display for AttachError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttachError::NonHashed(e) => write!(f, "cannot attach model: {e}"),
+            AttachError::BadPack(e) => write!(f, "cannot attach model pack: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttachError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttachError::NonHashed(e) => Some(e),
+            AttachError::BadPack(e) => Some(e),
+        }
+    }
+}
 
 /// A per-branch model attached to the hybrid predictor. Cloning
 /// copies the frozen weights together with any runtime state (engine
@@ -53,6 +85,11 @@ pub struct HybridStats {
     pub cnn_predictions: u64,
     /// Predictions served by the runtime baseline.
     pub baseline_predictions: u64,
+    /// Model packs rejected at attach time; those branches stayed on
+    /// the runtime baseline. Unlike the prediction counters this
+    /// records a *configuration* outcome, so it survives
+    /// [`Predictor::flush`] and fresh runtime clones.
+    pub packs_rejected: u64,
 }
 
 /// TAGE-SC-L plus attached per-PC BranchNet models.
@@ -104,31 +141,63 @@ impl HybridPredictor {
     /// previous one). This is the OS "load BranchNet model" operation
     /// of Section V-F.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a quantized/engine model is built on a non-hashed
-    /// config: those datapaths look up hashed convolution tables, so
-    /// accepting such an attach would only defer the failure to the
-    /// first prediction ([`InferenceEngine::new`] and
-    /// [`QuantizedMini::from_model`] enforce the same invariant at
-    /// construction time; this check keeps the predictor sound even
-    /// for models built by other means, e.g. deserialization).
-    pub fn attach(&mut self, pc: u64, model: AttachedModel) {
+    /// Rejects (and counts in [`HybridStats::packs_rejected`]) a
+    /// quantized/engine model built on a non-hashed config: those
+    /// datapaths look up hashed convolution tables, so accepting such
+    /// an attach would only defer the failure to the first prediction
+    /// ([`InferenceEngine::new`] and [`QuantizedMini::from_model`]
+    /// enforce the same invariant at construction time; this check
+    /// keeps the predictor sound even for models built by other means,
+    /// e.g. deserialization). On rejection the branch stays on the
+    /// runtime-baseline lane.
+    pub fn attach(&mut self, pc: u64, model: AttachedModel) -> Result<(), AttachError> {
         let hashed_cfg = match &model {
             AttachedModel::Float(_) => None,
             AttachedModel::ConvQuant(q) => Some(q.config()),
             AttachedModel::Engine(e) => Some(e.model().config()),
         };
         if let Some(cfg) = hashed_cfg {
-            assert!(
-                cfg.is_hashed(),
-                "cannot attach a quantized/engine model with a non-hashed config \
-                 (conv_hash_bits = None): config '{}'",
-                cfg.name
-            );
+            if !cfg.is_hashed() {
+                return Err(self
+                    .reject(AttachError::NonHashed(NonHashedConfig { config: cfg.name.clone() })));
+            }
         }
         self.max_window = self.max_window.max(model.window_len());
         self.models.insert(pc, model);
+        Ok(())
+    }
+
+    /// Decodes a serialized model pack and attaches it as a streaming
+    /// engine at its recorded PC — the whole untrusted OS-load path in
+    /// one call. Returns the pack's PC on success.
+    ///
+    /// # Errors
+    ///
+    /// Any decode/validation failure ([`ReadModelError`]) or a
+    /// non-hashed config is counted in
+    /// [`HybridStats::packs_rejected`] and leaves the predictor
+    /// unchanged: the branch simply stays on the TAGE-SC-L lane.
+    pub fn attach_pack_bytes(&mut self, bytes: &[u8]) -> Result<u64, AttachError> {
+        let (pc, quant) = match crate::persist::read_model(&mut std::io::Cursor::new(bytes)) {
+            Ok(decoded) => decoded,
+            Err(e) => return Err(self.reject(AttachError::BadPack(e))),
+        };
+        let engine = match InferenceEngine::new(quant) {
+            Ok(engine) => engine,
+            Err(e) => return Err(self.reject(AttachError::NonHashed(e))),
+        };
+        self.attach(pc, AttachedModel::Engine(engine))?;
+        Ok(pc)
+    }
+
+    /// Counts one rejected attach in the per-instance stats and the
+    /// process-global degradation counters, passing the error through.
+    fn reject(&mut self, err: AttachError) -> AttachError {
+        self.stats.packs_rejected += 1;
+        crate::degradation::record_pack_rejected();
+        err
     }
 
     /// A cold copy for parallel evaluation: same attached (frozen)
@@ -146,7 +215,7 @@ impl HybridPredictor {
             models: self.models.clone(),
             raw: VecDeque::new(),
             max_window: self.max_window,
-            stats: HybridStats::default(),
+            stats: HybridStats { packs_rejected: self.stats.packs_rejected, ..Default::default() },
             name: self.name,
         };
         for model in copy.models.values_mut() {
@@ -195,20 +264,21 @@ impl HybridPredictor {
         }
         bits
     }
+}
 
-    /// Assembles the encoded window for a model from the raw ring.
-    fn window_for(&self, model: &AttachedModel) -> Vec<u32> {
-        let len = model.window_len();
-        let bits = model.pc_bits();
-        let mut window = vec![0u32; len];
-        let have = self.raw.len().min(len);
-        for i in 0..have {
-            let (pc, taken) = self.raw[self.raw.len() - have + i];
-            let mask = (1u64 << bits) - 1;
-            window[len - have + i] = (((pc & mask) as u32) << 1) | u32::from(taken);
-        }
-        window
+/// Assembles the encoded window for an attached model from the raw
+/// `(pc, direction)` ring. A free function (not a method) so
+/// [`Predictor::predict`] can call it while holding a mutable borrow
+/// of the model map.
+fn assemble_window(raw: &VecDeque<(u64, bool)>, len: usize, bits: u32) -> Vec<u32> {
+    let mut window = vec![0u32; len];
+    let have = raw.len().min(len);
+    for i in 0..have {
+        let (pc, taken) = raw[raw.len() - have + i];
+        let mask = (1u64 << bits) - 1;
+        window[len - have + i] = (((pc & mask) as u32) << 1) | u32::from(taken);
     }
+    window
 }
 
 impl Predictor for HybridPredictor {
@@ -217,23 +287,23 @@ impl Predictor for HybridPredictor {
         // branch and its histories must advance), even when a CNN
         // overrides the direction.
         let base_pred = self.base.predict(pc);
-        if self.models.contains_key(&pc) {
-            self.stats.cnn_predictions += 1;
-            let window = {
-                let model = self.models.get(&pc).expect("checked above");
-                if matches!(model, AttachedModel::Engine(_)) {
-                    Vec::new()
-                } else {
-                    self.window_for(model)
-                }
+        // Destructure so the single map lookup can borrow a model
+        // mutably while the window is assembled from the raw ring.
+        let Self { models, raw, stats, .. } = self;
+        if let Some(model) = models.get_mut(&pc) {
+            stats.cnn_predictions += 1;
+            let window = if matches!(model, AttachedModel::Engine(_)) {
+                Vec::new()
+            } else {
+                assemble_window(raw, model.window_len(), model.pc_bits())
             };
-            match self.models.get_mut(&pc).expect("checked above") {
+            match model {
                 AttachedModel::Engine(e) => e.predict(),
                 AttachedModel::ConvQuant(q) => q.predict(&window, QuantMode::ConvOnly),
                 AttachedModel::Float(m) => m.predict(&window),
             }
         } else {
-            self.stats.baseline_predictions += 1;
+            stats.baseline_predictions += 1;
             base_pred
         }
     }
@@ -263,9 +333,11 @@ impl Predictor for HybridPredictor {
     fn flush(&mut self) {
         // The attached (offline-trained, frozen) models survive, as
         // deployed BranchNet weights would; everything learned at
-        // runtime goes.
+        // runtime goes. Rejection counts describe the attach-time
+        // configuration, not the run, so they survive too.
         self.reset_runtime_state();
-        self.stats = HybridStats::default();
+        self.stats =
+            HybridStats { packs_rejected: self.stats.packs_rejected, ..Default::default() };
     }
 
     fn name(&self) -> &'static str {
@@ -346,7 +418,7 @@ mod tests {
         let base_stats = evaluate(&mut baseline, &test_trace);
 
         let mut hybrid = HybridPredictor::new(&baseline_cfg);
-        hybrid.attach(0x90, AttachedModel::Float(model));
+        hybrid.attach(0x90, AttachedModel::Float(model)).unwrap();
         let hybrid_stats = evaluate(&mut hybrid, &test_trace);
 
         assert!(
@@ -373,7 +445,7 @@ mod tests {
         let ds = extract(&[counting_trace(1, 5_000)], 0x90, cfg.window_len(), cfg.pc_bits);
         let (model, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 1, ..Default::default() });
         let mut hybrid = HybridPredictor::new(&TageSclConfig::tage_sc_l_64kb());
-        hybrid.attach(0x90, AttachedModel::Float(model));
+        hybrid.attach(0x90, AttachedModel::Float(model)).unwrap();
         let _ = evaluate(&mut hybrid, &trace);
         let s = hybrid.stats();
         let covered = trace.iter().filter(|r| r.pc == 0x90).count() as u64;
@@ -388,7 +460,7 @@ mod tests {
         let (model, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 3, ..Default::default() });
         let quant = QuantizedMini::from_model(&model);
         let mut hybrid = HybridPredictor::new(&TageSclConfig::tage_sc_l_64kb());
-        hybrid.attach(0x90, AttachedModel::Engine(InferenceEngine::new(quant)));
+        hybrid.attach(0x90, AttachedModel::Engine(InferenceEngine::new(quant).unwrap())).unwrap();
         let trace = counting_trace(5, 5_000);
         let stats = evaluate(&mut hybrid, &trace);
         assert!(stats.predictions() > 0.0);
@@ -406,8 +478,8 @@ mod tests {
         let (model, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 2, ..Default::default() });
         let quant = QuantizedMini::from_model(&model);
         let mut hybrid = HybridPredictor::new(&TageSclConfig::tage_sc_l_64kb());
-        hybrid.attach(0x90, AttachedModel::Engine(InferenceEngine::new(quant)));
-        hybrid.attach(0x10, AttachedModel::Float(model));
+        hybrid.attach(0x90, AttachedModel::Engine(InferenceEngine::new(quant).unwrap())).unwrap();
+        hybrid.attach(0x10, AttachedModel::Float(model)).unwrap();
 
         let traces = [counting_trace(11, 3_000), counting_trace(12, 3_000)];
         let serial: Vec<f64> = traces
@@ -436,9 +508,33 @@ mod tests {
         let (m2, _) =
             train_model(&cfg, &ds, &TrainOptions { epochs: 1, seed: 5, ..Default::default() });
         let mut hybrid = HybridPredictor::new(&TageSclConfig::tage_sc_l_64kb());
-        hybrid.attach(0x90, AttachedModel::Float(m1));
-        hybrid.attach(0x90, AttachedModel::Float(m2));
+        hybrid.attach(0x90, AttachedModel::Float(m1)).unwrap();
+        hybrid.attach(0x90, AttachedModel::Float(m2)).unwrap();
         assert_eq!(hybrid.attached_count(), 1);
+    }
+
+    #[test]
+    fn rejected_pack_is_counted_and_leaves_predictor_unchanged() {
+        let mut hybrid = HybridPredictor::new(&TageSclConfig::tage_sc_l_64kb());
+        let err = hybrid.attach_pack_bytes(b"definitely not a model pack").unwrap_err();
+        assert!(matches!(err, AttachError::BadPack(_)));
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!(hybrid.attached_count(), 0);
+        assert_eq!(hybrid.stats().packs_rejected, 1);
+
+        // The rejection count describes the attach-time configuration,
+        // so it survives both spellings of a runtime cold start.
+        hybrid.flush();
+        assert_eq!(hybrid.stats().packs_rejected, 1);
+        assert_eq!(hybrid.fresh_runtime_clone().stats().packs_rejected, 1);
+
+        // And the degraded hybrid still behaves exactly like the pure
+        // baseline: no model was attached.
+        let trace = counting_trace(21, 3_000);
+        let cfg = TageSclConfig::tage_sc_l_64kb();
+        let base = evaluate(&mut TageScL::new(&cfg), &trace);
+        let deg = evaluate(&mut hybrid, &trace);
+        assert_eq!(base.mispredictions(), deg.mispredictions());
     }
 
     #[test]
@@ -450,7 +546,7 @@ mod tests {
         let baseline_cfg = TageSclConfig::tage_sc_l_64kb();
         let base_bits = TageScL::new(&baseline_cfg).storage_bits();
         let mut hybrid = HybridPredictor::new(&baseline_cfg);
-        hybrid.attach(0x90, AttachedModel::Engine(InferenceEngine::new(quant)));
+        hybrid.attach(0x90, AttachedModel::Engine(InferenceEngine::new(quant).unwrap())).unwrap();
         assert!(hybrid.storage_bits() > base_bits);
     }
 }

@@ -19,6 +19,9 @@
 //!   ones, and solve the storage-budget assignment (Section V-E).
 //! * [`hybrid`] — TAGE-SC-L plus attached per-PC models, the predictor
 //!   the paper actually evaluates.
+//! * [`degradation`] — process-global counters for the graceful-
+//!   degradation paths (rejected packs, retried trainings); see
+//!   DESIGN.md §9 for the failure model they observe.
 //!
 //! # Example: train and attach a model for one hard branch
 //!
@@ -37,11 +40,12 @@
 //! let ds = extract(&train_traces, hard_pc, cfg.window_len(), cfg.pc_bits);
 //! let (model, _report) = train_model(&cfg, &ds, &TrainOptions::default());
 //! let mut hybrid = HybridPredictor::new(&TageSclConfig::tage_sc_l_64kb());
-//! hybrid.attach(hard_pc, AttachedModel::Float(model));
+//! hybrid.attach(hard_pc, AttachedModel::Float(model)).expect("float models always attach");
 //! ```
 
 pub mod config;
 pub mod dataset;
+pub mod degradation;
 pub mod engine;
 pub mod hashing;
 pub mod hybrid;
@@ -54,14 +58,17 @@ pub mod trainer;
 
 pub use config::{BranchNetConfig, SliceConfig};
 pub use dataset::{extract, BranchDataset, Example};
-pub use engine::{EngineCheckpoint, InferenceEngine};
-pub use hybrid::{AttachedModel, HybridPredictor, HybridStats};
+pub use degradation::DegradationSnapshot;
+pub use engine::{EngineCheckpoint, InferenceEngine, NonHashedConfig};
+pub use hybrid::{AttachError, AttachedModel, HybridPredictor, HybridStats};
 pub use model::BranchNetModel;
-pub use persist::{read_model, write_model, ReadModelError};
+pub use persist::{load_model, read_model, save_model, write_model, ReadModelError};
 pub use quantize::{QuantMode, QuantizedMini};
 pub use selection::{
     assign_budget, offline_train, rank_hard_branches, train_candidates, BudgetItem,
     CandidateResult, PipelineOptions,
 };
 pub use storage::{storage_breakdown, StorageBreakdown};
-pub use trainer::{evaluate_accuracy, train_model, TrainOptions, TrainReport};
+pub use trainer::{
+    evaluate_accuracy, train_model, train_model_resilient, TrainOptions, TrainReport,
+};

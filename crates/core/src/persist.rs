@@ -229,7 +229,7 @@ fn read_config<R: Read>(d: &mut Dec<R>) -> Result<BranchNetConfig, ReadModelErro
         q => Some(q),
     };
     let tanh_activations = d.u8()? != 0;
-    Ok(BranchNetConfig {
+    let config = BranchNetConfig {
         name,
         slices,
         pc_bits,
@@ -239,7 +239,12 @@ fn read_config<R: Read>(d: &mut Dec<R>) -> Result<BranchNetConfig, ReadModelErro
         hidden,
         fc_quant_bits,
         tanh_activations,
-    })
+    };
+    // The decoded knobs are untrusted: a corrupted pool width or
+    // hidden size would panic (divide-by-zero, shift overflow) in the
+    // table-size arithmetic below instead of degrading cleanly.
+    config.check().map_err(ReadModelError::Corrupt)?;
+    Ok(config)
 }
 
 /// Writes a `(pc, model)` pair as a model file.
@@ -355,6 +360,29 @@ pub fn read_model<R: Read>(r: R) -> Result<(u64, QuantizedMini), ReadModelError>
     Ok((pc, model))
 }
 
+/// Writes a `(pc, model)` pair to `path` atomically: the bytes land in
+/// a `.tmp` sibling first and are renamed into place only after a
+/// successful flush, so a crash mid-write can never leave a torn model
+/// file where a loader would find it.
+///
+/// # Errors
+///
+/// Propagates any I/O error; on failure the temporary is removed and
+/// any previous file at `path` is untouched.
+pub fn save_model(path: &std::path::Path, pc: u64, model: &QuantizedMini) -> io::Result<()> {
+    branchnet_trace::io::atomic_write(path, |w| write_model(w, pc, model))
+}
+
+/// Reads a model file from `path` back into a `(pc, model)` pair.
+///
+/// # Errors
+///
+/// Returns [`ReadModelError`] on I/O failure or malformed content.
+pub fn load_model(path: &std::path::Path) -> Result<(u64, QuantizedMini), ReadModelError> {
+    let file = std::fs::File::open(path)?;
+    read_model(io::BufReader::new(file))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +468,27 @@ mod tests {
             // field) some other clean error — never a panic.
             let _ = read_model(buf.as_slice());
         }
+    }
+
+    #[test]
+    fn save_and_load_round_trip_without_leaving_a_temporary() {
+        let model = trained();
+        let dir = std::env::temp_dir().join("branchnet-persist-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bnmd");
+        save_model(&path, 0x88, &model).unwrap();
+        assert!(!dir.join("model.bnmd.tmp").exists(), "temporary must be renamed away");
+        let (pc, back) = load_model(&path).unwrap();
+        assert_eq!(pc, 0x88);
+        assert_eq!(back.config(), model.config());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_model_reports_missing_file_as_io_error() {
+        let err = load_model(std::path::Path::new("/nonexistent/model.bnmd")).unwrap_err();
+        assert!(matches!(err, ReadModelError::Io(_)));
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -348,6 +348,12 @@ impl QuantizedMini {
             return Err("mini models have one hidden layer");
         }
         let n = config.hidden[0];
+        // The final-layer LUT has 2^n entries; an untrusted hidden
+        // width past the widest real Mini would overflow the shift in
+        // the size check below (and describe a nonsensical model).
+        if n == 0 || n > 20 {
+            return Err("implausible hidden width for a lut model");
+        }
         let total = config.total_pooled();
         if sign_tables.len() != config.slices.len() || bn2.len() != config.slices.len() {
             return Err("slice table count mismatch");
@@ -363,6 +369,21 @@ impl QuantizedMini {
         }
         if lut.len() != 1 << n {
             return Err("lut size mismatch");
+        }
+        // Deserialized tables are untrusted: a flipped exponent bit
+        // can smuggle a NaN or an absurd magnitude into the FC stage,
+        // where it would silently poison every prediction. Healthy
+        // trained weights are O(1), so the magnitude bound is generous.
+        let finite = |v: &f32| v.is_finite() && v.abs() <= 1.0e9;
+        let bn2_ok =
+            bn2.iter().all(|(scale, shift)| scale.iter().all(finite) && shift.iter().all(finite));
+        if !bn2_ok
+            || !finite(&out_b)
+            || ![&fc1_w, &fc1_b, &bn3_scale, &bn3_shift, &out_w]
+                .iter()
+                .all(|t| t.iter().all(finite))
+        {
+            return Err("non-finite or out-of-range weight");
         }
         let slices = config
             .slices
@@ -480,6 +501,42 @@ mod tests {
         let ds = counting_dataset(60);
         let (model, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 1, ..Default::default() });
         let _ = QuantizedMini::from_model(&model);
+    }
+
+    #[test]
+    fn from_parts_rejects_non_finite_and_huge_weights() {
+        let (model, _) = trained();
+        let quant = QuantizedMini::from_model(&model);
+        let rebuild = |m: &QuantizedMini| {
+            QuantizedMini::from_parts(
+                m.config.clone(),
+                m.slices.iter().map(|s| s.sign_table.clone()).collect(),
+                m.slices.iter().map(|s| (s.bn2_scale.clone(), s.bn2_shift.clone())).collect(),
+                m.q,
+                m.fc1_w.clone(),
+                m.fc1_b.clone(),
+                m.bn3_scale.clone(),
+                m.bn3_shift.clone(),
+                m.out_w.clone(),
+                m.out_b,
+                m.fc1_wq.clone(),
+                m.thresholds.clone(),
+                m.lut.clone(),
+            )
+        };
+        // Positive control: the healthy tables reassemble cleanly.
+        assert!(rebuild(&quant).is_ok());
+        for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 1.0e30] {
+            let mut bad = quant.clone();
+            bad.fc1_w[0] = poison;
+            assert_eq!(rebuild(&bad).unwrap_err(), "non-finite or out-of-range weight");
+            let mut bad = quant.clone();
+            bad.slices[0].bn2_shift[0] = poison;
+            assert_eq!(rebuild(&bad).unwrap_err(), "non-finite or out-of-range weight");
+            let mut bad = quant.clone();
+            bad.out_b = poison;
+            assert_eq!(rebuild(&bad).unwrap_err(), "non-finite or out-of-range weight");
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use crate::config::BranchNetConfig;
 use crate::dataset::extract;
 use crate::model::BranchNetModel;
-use crate::trainer::{evaluate_accuracy, train_model, TrainOptions};
+use crate::trainer::{evaluate_accuracy, train_model_resilient, TrainOptions};
 use branchnet_tage::{TageScL, TageSclConfig};
 use branchnet_trace::{BranchStats, Gauntlet, Trace, TraceSet};
 use serde::{Deserialize, Serialize};
@@ -130,7 +130,11 @@ pub fn train_candidates(
                     if train_ds.len() < min_occ {
                         return None;
                     }
-                    let (mut model, _report) = train_model(&cfg, &train_ds, &topts);
+                    // Resilient training: a diverged run is retried
+                    // with a reseeded init, and a candidate whose every
+                    // attempt diverges is skipped — its branch simply
+                    // stays on the runtime baseline (DESIGN.md §9).
+                    let (mut model, _report) = train_model_resilient(&cfg, &train_ds, &topts)?;
                     let mut valid_ds = extract(valid_traces, pc, window, cfg.pc_bits);
                     valid_ds.subsample(topts.max_examples);
                     let model_accuracy = evaluate_accuracy(&mut model, &valid_ds);

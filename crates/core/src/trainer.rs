@@ -144,6 +144,63 @@ pub fn train_model(
     (model, TrainReport { final_loss: best_loss, train_accuracy: acc, epochs_run })
 }
 
+/// Maximum reseeded retries [`train_model_resilient`] attempts after a
+/// diverged run before giving up.
+pub const MAX_TRAIN_RETRIES: usize = 2;
+
+/// Whether a training outcome is numerically healthy: finite loss and
+/// accuracy, and a sane logit on a probe example. A NaN anywhere here
+/// means the optimizer diverged; a finite logit of absurd magnitude
+/// (healthy models emit O(10)) means the weights blew up without quite
+/// overflowing. The 1e9 bound matches the deserialization-time weight
+/// validation in `QuantizedMini::from_parts`.
+fn diverged(model: &mut BranchNetModel, report: &TrainReport, dataset: &BranchDataset) -> bool {
+    if !report.final_loss.is_finite() || !report.train_accuracy.is_finite() {
+        return true;
+    }
+    dataset.examples.first().is_some_and(|e| {
+        let z = model.predict_logit(&e.window);
+        !z.is_finite() || z.abs() > 1.0e9
+    })
+}
+
+/// [`train_model`] with a divergence guard and bounded
+/// retry-with-reseeded-init (the training half of the DESIGN.md §9
+/// failure model).
+///
+/// Attempt 0 uses `opts.seed` unchanged, so a run that never diverges
+/// is byte-identical to plain [`train_model`]. Each retry perturbs the
+/// seed deterministically (`seed ^ (attempt · golden-ratio odd
+/// constant)`), records itself in the process-global degradation
+/// counters, and re-trains from a fresh init. Returns `None` when all
+/// `1 + MAX_TRAIN_RETRIES` attempts diverge — callers should skip the
+/// candidate, leaving its branch on the runtime baseline.
+#[must_use]
+pub fn train_model_resilient(
+    config: &BranchNetConfig,
+    dataset: &BranchDataset,
+    opts: &TrainOptions,
+) -> Option<(BranchNetModel, TrainReport)> {
+    for attempt in 0..=MAX_TRAIN_RETRIES {
+        let attempt_opts = TrainOptions {
+            seed: if attempt == 0 {
+                opts.seed
+            } else {
+                opts.seed ^ (attempt as u64).wrapping_mul(0xA076_1D64_78BD_642F)
+            },
+            ..*opts
+        };
+        if attempt > 0 {
+            crate::degradation::record_training_retry();
+        }
+        let (mut model, report) = train_model(config, dataset, &attempt_opts);
+        if !diverged(&mut model, &report, dataset) {
+            return Some((model, report));
+        }
+    }
+    None
+}
+
 /// Accuracy of `model` on every example of `dataset` (eval mode).
 #[must_use]
 pub fn evaluate_accuracy(model: &mut BranchNetModel, dataset: &BranchDataset) -> f64 {
@@ -241,6 +298,36 @@ mod tests {
         assert_eq!(ra.final_loss, rb.final_loss);
         let w = &ds.examples[0].window;
         assert_eq!(a.predict_logit(w), b.predict_logit(w));
+    }
+
+    #[test]
+    fn resilient_training_is_byte_identical_when_healthy() {
+        // Attempt 0 must reuse the caller's seed unchanged, so on the
+        // (overwhelmingly common) no-divergence path the resilient
+        // wrapper produces bit-identical weights to plain train_model —
+        // the property the fidelity gate's byte-identity check relies on.
+        let ds = counting_dataset(100);
+        let opts = TrainOptions { epochs: 2, ..Default::default() };
+        let (mut plain, plain_report) = train_model(&tiny_config(), &ds, &opts);
+        let (mut resilient, resilient_report) =
+            train_model_resilient(&tiny_config(), &ds, &opts).expect("healthy run");
+        assert_eq!(plain_report, resilient_report);
+        let w = &ds.examples[0].window;
+        assert_eq!(plain.predict_logit(w), resilient.predict_logit(w));
+    }
+
+    #[test]
+    fn resilient_training_gives_up_after_bounded_retries() {
+        // An absurd learning rate blows the weights up to non-finite
+        // values on every attempt, so the guard must retry exactly
+        // MAX_TRAIN_RETRIES times (counted globally) and then report
+        // failure instead of returning poisoned weights.
+        let ds = counting_dataset(60);
+        let before = crate::degradation::snapshot().trainings_retried;
+        let opts = TrainOptions { epochs: 1, lr: 1.0e30, ..Default::default() };
+        assert!(train_model_resilient(&tiny_config(), &ds, &opts).is_none());
+        let after = crate::degradation::snapshot().trainings_retried;
+        assert!(after >= before + MAX_TRAIN_RETRIES as u64);
     }
 
     #[test]

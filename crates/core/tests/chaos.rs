@@ -1,0 +1,280 @@
+//! Chaos suite for the model-pack load/attach/predict pipeline: any
+//! corruption of a serialized pack must end in a typed error (branch
+//! stays on the TAGE-SC-L lane, rejection counted) or a hybrid that
+//! still predicts without panicking — never a crash. This is the
+//! e2e half of DESIGN.md §9, driven by the deterministic
+//! [`FaultPlan`] corruption recipes.
+
+use branchnet_core::config::{BranchNetConfig, SliceConfig};
+use branchnet_core::dataset::{BranchDataset, Example};
+use branchnet_core::hybrid::HybridPredictor;
+use branchnet_core::persist::{read_model, write_model, ReadModelError};
+use branchnet_core::quantize::QuantizedMini;
+use branchnet_core::trainer::{train_model, train_model_resilient, TrainOptions};
+use branchnet_tage::{TageScL, TageSclConfig};
+use branchnet_trace::{
+    run_one as evaluate, BranchRecord, CorruptingReader, Fault, FaultPlan, Trace,
+};
+use proptest::prelude::*;
+
+/// The branch PC the chaos packs target.
+const PACK_PC: u64 = 0x90;
+
+/// A small trained + quantized model (the payload every corruption
+/// test mutilates).
+fn trained() -> QuantizedMini {
+    let cfg = BranchNetConfig {
+        name: "chaos".into(),
+        slices: vec![
+            SliceConfig { history: 8, channels: 2, pool_width: 4, precise_pooling: true },
+            SliceConfig { history: 16, channels: 2, pool_width: 8, precise_pooling: false },
+        ],
+        pc_bits: 5,
+        conv_hash_bits: Some(6),
+        embedding_dim: 0,
+        conv_width: 3,
+        hidden: vec![4],
+        fc_quant_bits: Some(4),
+        tanh_activations: true,
+    };
+    let examples = (0..60u32)
+        .map(|i| Example {
+            window: (0..cfg.window_len() as u32).map(|j| (i * 11 + j * 3) % 64).collect(),
+            label: f32::from(u8::from(i % 2 == 0)),
+        })
+        .collect();
+    let ds = BranchDataset { pc: PACK_PC, max_history: cfg.window_len(), examples };
+    let (m, _) = train_model(&cfg, &ds, &TrainOptions { epochs: 2, ..Default::default() });
+    QuantizedMini::from_model(&m)
+}
+
+fn pack_bytes() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_model(&mut buf, PACK_PC, &trained()).unwrap();
+    buf
+}
+
+/// A short deterministic trace that visits the pack's branch.
+fn chaos_trace() -> Trace {
+    let mut t = Trace::new();
+    let mut x = 1u64;
+    for i in 0..2_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        t.push(BranchRecord::conditional(0x10 + (i % 5) * 8, x >> 60 > 7));
+        t.push(BranchRecord::conditional(PACK_PC, x >> 33 & 1 == 1));
+    }
+    t
+}
+
+proptest! {
+    /// Arbitrary bytes must never panic the model reader.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = read_model(bytes.as_slice());
+    }
+
+    /// Arbitrary bytes behind a valid header reach the config/table
+    /// decoders; they too must fail (or succeed) cleanly.
+    #[test]
+    fn arbitrary_bytes_after_valid_header_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let mut framed = b"BNMD\x01".to_vec();
+        framed.extend_from_slice(&bytes);
+        let _ = read_model(framed.as_slice());
+    }
+
+    /// Any seeded multi-fault corruption of a real pack either decodes
+    /// to a model whose prediction path runs, or errors with a
+    /// formattable message.
+    #[test]
+    fn corrupted_pack_decodes_or_degrades(seed in any::<u64>()) {
+        let buf = pack_bytes();
+        let plan = FaultPlan::generate(seed, buf.len() as u64);
+        match read_model(plan.corrupt(&buf).as_slice()) {
+            Ok((_pc, model)) => {
+                let window: Vec<u32> =
+                    (0..model.config().window_len() as u32).map(|j| j % 64).collect();
+                let _ = model.predict(&window, branchnet_core::quantize::QuantMode::Full);
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty(), "classes {:?}", plan.classes()),
+        }
+    }
+}
+
+/// Every proper prefix of a pack is a clean error (torn OS load).
+#[test]
+fn pack_truncation_at_every_byte_is_a_clean_error() {
+    let buf = pack_bytes();
+    for cut in 0..buf.len() {
+        assert!(read_model(&buf[..cut]).is_err(), "cut at {cut} must not parse");
+    }
+    assert!(read_model(buf.as_slice()).is_ok(), "the full pack must still parse");
+}
+
+/// The end-to-end OS-load contract, per fault class: a corrupted pack
+/// either attaches (and the hybrid predicts through it without
+/// panicking) or is rejected — and on rejection the hybrid is
+/// bit-identical to the pure TAGE-SC-L lane, with the rejection
+/// counted in both the per-instance stats and the global counters.
+#[test]
+fn every_fault_class_leaves_the_hybrid_sound() {
+    let buf = pack_bytes();
+    let trace = chaos_trace();
+    let baseline_cfg = TageSclConfig::tage_sc_l_64kb();
+    let pure_tage = evaluate(&mut TageScL::new(&baseline_cfg), &trace);
+
+    let before = branchnet_core::degradation::snapshot().packs_rejected;
+    let mut rejected = 0u64;
+    for seed in 0..10u64 {
+        for plan in FaultPlan::one_of_each(seed, buf.len() as u64) {
+            let mut hybrid = HybridPredictor::new(&baseline_cfg);
+            match hybrid.attach_pack_bytes(&plan.corrupt(&buf)) {
+                Ok(pc) => {
+                    // The corruption happened to keep the pack valid:
+                    // the model must actually predict, not defer a
+                    // crash to the hot path.
+                    assert_eq!(hybrid.attached_count(), 1);
+                    let stats = evaluate(&mut hybrid, &trace);
+                    assert!(stats.predictions() > 0.0, "seed {seed} pc {pc:#x}");
+                }
+                Err(e) => {
+                    rejected += 1;
+                    assert!(!e.to_string().is_empty());
+                    assert_eq!(
+                        hybrid.attached_count(),
+                        0,
+                        "a rejected pack must not leave a model behind (seed {seed}, {:?})",
+                        plan.classes()
+                    );
+                    assert_eq!(hybrid.stats().packs_rejected, 1);
+                    let stats = evaluate(&mut hybrid, &trace);
+                    assert_eq!(
+                        stats.mispredictions(),
+                        pure_tage.mispredictions(),
+                        "degraded hybrid must ride the pure TAGE lane (seed {seed}, {:?})",
+                        plan.classes()
+                    );
+                }
+            }
+        }
+    }
+    assert!(rejected > 0, "some corruption must actually reject");
+    let after = branchnet_core::degradation::snapshot().packs_rejected;
+    assert!(
+        after - before >= rejected,
+        "global counter must cover the {rejected} local rejections ({before} -> {after})"
+    );
+}
+
+/// NaN and out-of-range weight injections anywhere in the float
+/// tables are caught by pack validation, not served to the datapath.
+#[test]
+fn injected_nan_and_huge_weights_are_rejected_by_validation() {
+    let buf = pack_bytes();
+    for label in ["nan", "huge"] {
+        let mut weight_rejections = 0u32;
+        for offset in 0..buf.len() as u64 {
+            let fault = if label == "nan" {
+                Fault::NanWeight { offset }
+            } else {
+                Fault::HugeWeight { offset }
+            };
+            let corrupted = FaultPlan::single(fault).corrupt(&buf);
+            match read_model(corrupted.as_slice()) {
+                // An overwrite outside the float tables may still
+                // decode (e.g. it hit the pc field) — fine, as long
+                // as nothing non-finite survives validation.
+                Ok(_) => {}
+                Err(ReadModelError::Corrupt(msg)) => {
+                    if msg == "non-finite or out-of-range weight" {
+                        weight_rejections += 1;
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+        assert!(
+            weight_rejections > 0,
+            "{label}: no offset tripped the weight validator — is it wired in?"
+        );
+    }
+}
+
+/// Streaming a corrupted pack through [`CorruptingReader`] (the
+/// faulted-file view) behaves exactly like decoding the corrupted
+/// buffer.
+#[test]
+fn corrupting_reader_matches_buffer_decode_for_packs() {
+    let buf = pack_bytes();
+    for seed in 0..16u64 {
+        let plan = FaultPlan::generate(seed, buf.len() as u64);
+        let direct = read_model(plan.corrupt(&buf).as_slice());
+        let streamed = read_model(CorruptingReader::new(buf.as_slice(), plan.clone()));
+        match (direct, streamed) {
+            (Ok((pa, ma)), Ok((pb, mb))) => {
+                assert_eq!(pa, pb, "seed {seed}");
+                assert_eq!(ma.config(), mb.config(), "seed {seed}");
+            }
+            (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}"), "seed {seed}"),
+            (a, b) => panic!("reader/buffer disagree for seed {seed}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+/// A training run whose every attempt diverges gives up with `None`
+/// after the bounded reseeded retries, and the retries are visible in
+/// the global degradation counters.
+#[test]
+fn exhausted_training_retries_degrade_to_none() {
+    let cfg = BranchNetConfig {
+        name: "chaos-diverge".into(),
+        slices: vec![SliceConfig { history: 8, channels: 2, pool_width: 4, precise_pooling: true }],
+        pc_bits: 4,
+        conv_hash_bits: Some(5),
+        embedding_dim: 0,
+        conv_width: 3,
+        hidden: vec![4],
+        fc_quant_bits: Some(4),
+        tanh_activations: true,
+    };
+    let examples = (0..40u32)
+        .map(|i| Example {
+            window: (0..cfg.window_len() as u32).map(|j| (i * 7 + j) % 32).collect(),
+            label: f32::from(u8::from(i % 2 == 0)),
+        })
+        .collect();
+    let ds = BranchDataset { pc: 1, max_history: cfg.window_len(), examples };
+    let before = branchnet_core::degradation::snapshot().trainings_retried;
+    let result = train_model_resilient(
+        &cfg,
+        &ds,
+        &TrainOptions { epochs: 2, lr: 1.0e30, ..Default::default() },
+    );
+    assert!(result.is_none(), "an absurd learning rate must exhaust every retry");
+    let after = branchnet_core::degradation::snapshot().trainings_retried;
+    assert!(after > before, "retries must be counted ({before} -> {after})");
+}
+
+/// The error type's user-facing surface is stable: these strings are
+/// what operators grep for in degraded-run logs.
+#[test]
+fn read_model_error_display_and_source_are_stable() {
+    use std::error::Error as _;
+
+    let io = ReadModelError::Io(std::io::Error::other("sector gone"));
+    assert_eq!(io.to_string(), "i/o error reading model: sector gone");
+    assert!(io.source().is_some(), "Io must expose its cause");
+
+    let magic = ReadModelError::BadMagic;
+    assert_eq!(magic.to_string(), "not a BranchNet model file");
+    assert!(magic.source().is_none());
+
+    let version = ReadModelError::BadVersion(3);
+    assert_eq!(version.to_string(), "unsupported model version 3");
+    assert!(version.source().is_none());
+
+    let corrupt = ReadModelError::Corrupt("sign table size mismatch");
+    assert_eq!(corrupt.to_string(), "corrupt model file: sign table size mismatch");
+    assert!(corrupt.source().is_none());
+}

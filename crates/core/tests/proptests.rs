@@ -61,12 +61,12 @@ proptest! {
         let quant = quick_quant(precise2);
         let split = ((stream.len() as f64) * split_frac) as usize;
 
-        let mut straight = InferenceEngine::new(quant.clone());
+        let mut straight = InferenceEngine::new(quant.clone()).unwrap();
         for &e in &stream {
             straight.update(e);
         }
 
-        let mut flushed = InferenceEngine::new(quant);
+        let mut flushed = InferenceEngine::new(quant).unwrap();
         for &e in &stream[..split] {
             flushed.update(e);
         }
@@ -101,7 +101,7 @@ proptest! {
     ) {
         let quant = quick_quant(precise2);
 
-        let mut straight = InferenceEngine::new(quant.clone());
+        let mut straight = InferenceEngine::new(quant.clone()).unwrap();
         for &e in &stream {
             straight.update(e);
         }
@@ -112,7 +112,7 @@ proptest! {
             flushes.iter().map(|(f, _)| ((stream.len() as f64) * f) as usize).collect();
         splits.sort_unstable();
 
-        let mut flushed = InferenceEngine::new(quant);
+        let mut flushed = InferenceEngine::new(quant).unwrap();
         let mut pos = 0usize;
         for ((_, wrong), &split) in flushes.iter().zip(&splits) {
             for &e in &stream[pos..split] {
@@ -137,9 +137,9 @@ proptest! {
     #[test]
     fn engine_reset_restores_cold_state(stream in prop::collection::vec(0u32..64, 1..100)) {
         let quant = quick_quant(false);
-        let cold = InferenceEngine::new(quant.clone());
+        let cold = InferenceEngine::new(quant.clone()).unwrap();
         let cold_ckpt = cold.checkpoint();
-        let mut e = InferenceEngine::new(quant);
+        let mut e = InferenceEngine::new(quant).unwrap();
         for &x in &stream {
             e.update(x);
         }

@@ -201,14 +201,51 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<Trace, ReadTraceError> {
     Ok(trace)
 }
 
-/// Convenience: writes a trace to a file path.
+/// Writes an artifact file atomically: the payload goes to a
+/// `.tmp.<pid>.<seq>` sibling first, is fsynced, and is renamed over
+/// `path` only then — so a killed process (or, for the payload bytes,
+/// a power loss after the rename) can never leave a torn artifact
+/// under the final name for the next run to trip on; at worst it
+/// leaves an orphaned temporary. The per-process/per-call suffix keeps
+/// concurrent writers to the same destination from stomping each
+/// other's half-written temporary, and the temporary lives in the same
+/// directory, keeping the rename a same-filesystem atomic operation.
+///
+/// # Errors
+///
+/// Propagates creation/write/sync/rename errors; the temporary is
+/// removed (best effort) on failure.
+pub fn atomic_write(
+    path: &std::path::Path,
+    write: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}.{seq}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(file);
+        write(&mut w)?;
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Convenience: writes a trace to a file path, atomically (see
+/// [`atomic_write`]).
 ///
 /// # Errors
 ///
 /// Propagates file-creation and write errors.
 pub fn save_trace(path: &std::path::Path, trace: &Trace) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    write_trace(io::BufWriter::new(file), trace)
+    atomic_write(path, |w| write_trace(w, trace))
 }
 
 /// Convenience: reads a trace from a file path.
@@ -307,6 +344,73 @@ mod tests {
         let t = sample_trace();
         save_trace(&path, &t).unwrap();
         assert_eq!(load_trace(&path).unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Names of leftover `.tmp.<pid>.<seq>` siblings in `dir`.
+    fn orphaned_temporaries(dir: &std::path::Path) -> Vec<String> {
+        std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|name| name.contains(".tmp."))
+            .collect()
+    }
+
+    #[test]
+    fn save_trace_leaves_no_temporary_behind() {
+        let dir = std::env::temp_dir().join("branchnet-trace-io-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.bntr");
+        save_trace(&path, &sample_trace()).unwrap();
+        assert!(path.exists());
+        assert_eq!(orphaned_temporaries(&dir), Vec::<String>::new());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_atomic_write_preserves_the_previous_artifact() {
+        let dir = std::env::temp_dir().join("branchnet-trace-io-atomic-fail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("b.bntr");
+        let t = sample_trace();
+        save_trace(&path, &t).unwrap();
+        // A writer that dies mid-artifact must leave the good file
+        // untouched and clean up its temporary.
+        let err = atomic_write(&path, |w| {
+            w.write_all(b"partial")?;
+            Err(io::Error::other("injected mid-write failure"))
+        });
+        assert!(err.is_err());
+        assert_eq!(orphaned_temporaries(&dir), Vec::<String>::new());
+        assert_eq!(load_trace(&path).unwrap(), t, "previous artifact must survive");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_atomic_writes_to_one_path_leave_a_complete_artifact() {
+        // Two racing writers must not share a temp file: whichever
+        // rename lands last wins, but the surviving file is always one
+        // writer's complete payload, never an interleaving.
+        let dir = std::env::temp_dir().join("branchnet-trace-io-atomic-race");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.bntr");
+        let traces: Vec<Trace> = (0..2)
+            .map(|i| {
+                let mut t = Trace::with_label(format!("writer-{i}"), 1.0);
+                for j in 0..50u64 {
+                    t.push(BranchRecord::conditional(0x1000 + j * 8, (j + i) % 2 == 0));
+                }
+                t
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for t in &traces {
+                s.spawn(|| save_trace(&path, t).unwrap());
+            }
+        });
+        let survivor = load_trace(&path).unwrap();
+        assert!(traces.contains(&survivor), "survivor must be one complete payload");
+        assert_eq!(orphaned_temporaries(&dir), Vec::<String>::new());
         std::fs::remove_file(&path).ok();
     }
 }

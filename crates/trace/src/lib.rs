@@ -16,7 +16,10 @@
 //!   contract every prediction stack (TAGE baselines, CNN hybrids)
 //!   implements,
 //! * [`gauntlet`] — the [`Gauntlet`](gauntlet::Gauntlet), which drives
-//!   N predictors over a trace in a single pass.
+//!   N predictors over a trace in a single pass,
+//! * [`fault`] — deterministic fault injection
+//!   ([`FaultPlan`](fault::FaultPlan), corrupting `Read`/`Write`
+//!   wrappers) for chaos-testing every consumer of untrusted bytes.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@
 //! assert_eq!(trace.records()[0].pc, 0x400_100);
 //! ```
 
+pub mod fault;
 pub mod gauntlet;
 pub mod history;
 pub mod io;
@@ -39,9 +43,10 @@ pub mod record;
 pub mod stats;
 pub mod trace;
 
+pub use fault::{CorruptingReader, CorruptingWriter, Fault, FaultPlan};
 pub use gauntlet::{run_one, run_one_per_branch, Gauntlet, LaneResult};
 pub use history::{FoldedHistory, GlobalHistory, HistoryRegister, PathHistory};
-pub use io::{load_trace, read_trace, save_trace, write_trace, ReadTraceError};
+pub use io::{atomic_write, load_trace, read_trace, save_trace, write_trace, ReadTraceError};
 pub use predict::{AlwaysTaken, Predictor, StaticBias};
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{BranchStats, MispredictionRanking, PredictionStats};

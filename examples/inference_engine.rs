@@ -44,7 +44,7 @@ fn main() {
     println!("  fully quantized:      {:.3}", acc(QuantMode::Full));
 
     // Storage accounting (Table II).
-    let engine = InferenceEngine::new(quant);
+    let engine = InferenceEngine::new(quant).expect("hashed config");
     let s = engine.storage();
     println!("\nTable II storage breakdown ({}):", cfg.name);
     println!("  convolution tables:   {:>7} bits", s.conv_tables_bits);

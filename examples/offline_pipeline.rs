@@ -45,7 +45,7 @@ fn main() {
     // Attach and evaluate on the unseen ref inputs.
     let mut hybrid = HybridPredictor::new(&baseline_cfg);
     for (r, m) in pack {
-        hybrid.attach(r.pc, AttachedModel::Float(m));
+        hybrid.attach(r.pc, AttachedModel::Float(m)).expect("float attach");
     }
 
     // Baseline and hybrid share one decode pass per test trace; the

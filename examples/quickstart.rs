@@ -52,15 +52,20 @@ fn main() {
     let tage_branch = evaluate_per_branch(&mut tage2, &test_trace);
 
     let mut hybrid = HybridPredictor::new(&baseline_cfg);
-    hybrid.attach(PC_B, AttachedModel::Float(model));
+    hybrid.attach(PC_B, AttachedModel::Float(model)).expect("float attach");
     let hybrid_stats = evaluate(&mut hybrid, &test_trace);
     let mut hybrid2 = HybridPredictor::new(&baseline_cfg);
-    hybrid2.attach(PC_B, {
-        let ds2 = extract(&train_traces, PC_B, cfg.window_len(), cfg.pc_bits);
-        let (m2, _) =
-            train_model(&cfg, &ds2, &TrainOptions { epochs: 15, lr: 0.02, ..Default::default() });
-        AttachedModel::Float(m2)
-    });
+    hybrid2
+        .attach(PC_B, {
+            let ds2 = extract(&train_traces, PC_B, cfg.window_len(), cfg.pc_bits);
+            let (m2, _) = train_model(
+                &cfg,
+                &ds2,
+                &TrainOptions { epochs: 15, lr: 0.02, ..Default::default() },
+            );
+            AttachedModel::Float(m2)
+        })
+        .expect("float attach");
     let hybrid_branch = evaluate_per_branch(&mut hybrid2, &test_trace);
 
     println!("\non the unseen test input (alpha = 0.6, N~5..10, never profiled):");

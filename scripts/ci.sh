@@ -4,7 +4,8 @@
 # The fidelity and determinism jobs re-run the whole quick reproduce
 # (once and twice respectively), which takes tens of minutes per run on
 # a laptop core, so they are opt-in locally: BRANCHNET_CI_FIDELITY=1
-# and/or BRANCHNET_CI_DETERMINISM=1.
+# and/or BRANCHNET_CI_DETERMINISM=1. BRANCHNET_CI_CHAOS=1 re-runs the
+# fault-injection suites at 8x the proptest case count (quick).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,6 +26,15 @@ cargo fmt --all --check
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "${BRANCHNET_CI_CHAOS:-0}" = "1" ]; then
+  echo "== chaos (fault injection, 512 proptest cases, debug) =="
+  # Debug profile on purpose: overflow/shift checks are live, so
+  # arithmetic on corrupted values panics here even where release
+  # would wrap silently.
+  PROPTEST_CASES=512 cargo test -q -p branchnet-trace --test chaos
+  PROPTEST_CASES=512 cargo test -q -p branchnet-core --test chaos
+fi
 
 if [ "${BRANCHNET_CI_FIDELITY:-0}" = "1" ]; then
   echo "== fidelity gate =="

@@ -4,7 +4,10 @@
 # tree byte-compare equal. Used by the CI baseline-staleness check;
 # everything else in the output is deterministic at any
 # BRANCHNET_THREADS. The gauntlet pass/lane counts are deterministic
-# (one pass per trace walked) and stay in the comparison.
+# (one pass per trace walked) and stay in the comparison, as does the
+# degradation line: its counters are zero on a healthy no-fault run,
+# so keeping it verbatim makes the golden diff an implicit
+# no-degradation check.
 s/| threads: [0-9][0-9]*/| threads: T/
 s/^\(=== .*\) \[[0-9][0-9]*s\] ===$/\1 [Ts] ===/
 s/ *[0-9][0-9]*\.[0-9]s$/ T.Ts/

@@ -39,7 +39,7 @@ fn trained_quant(cfg: &BranchNetConfig) -> QuantizedMini {
 fn streaming_engine_agrees_with_batch_datapath_on_real_traces() {
     let cfg = all_precise_config();
     let quant = trained_quant(&cfg);
-    let mut engine = InferenceEngine::new(quant.clone());
+    let mut engine = InferenceEngine::new(quant.clone()).unwrap();
 
     let trace = SpecSuite::benchmark(Benchmark::Leela)
         .generate(&SpecSuite::benchmark(Benchmark::Leela).inputs().test[0], 4_000);
@@ -67,7 +67,7 @@ fn checkpoint_recovery_is_exact_mid_workload() {
     let mut cfg = all_precise_config();
     cfg.slices[1].precise_pooling = false; // exercise sliding state too
     let quant = trained_quant(&cfg);
-    let mut engine = InferenceEngine::new(quant);
+    let mut engine = InferenceEngine::new(quant).unwrap();
 
     let trace = SpecSuite::benchmark(Benchmark::Mcf)
         .generate(&SpecSuite::benchmark(Benchmark::Mcf).inputs().test[1], 3_000);
@@ -85,7 +85,7 @@ fn checkpoint_recovery_is_exact_mid_workload() {
     engine.restore(&ckpt);
     assert_eq!(engine.predict(), reference);
     // Replaying the correct path must match a straight run.
-    let mut straight = InferenceEngine::new(engine.model().clone());
+    let mut straight = InferenceEngine::new(engine.model().clone()).unwrap();
     for &e in &encoded {
         straight.update(e);
     }
@@ -99,7 +99,7 @@ fn checkpoint_recovery_is_exact_mid_workload() {
 fn engine_storage_matches_table2_accounting() {
     let cfg = BranchNetConfig::mini_05kb();
     let quant = trained_quant(&cfg);
-    let engine = InferenceEngine::new(quant);
+    let engine = InferenceEngine::new(quant).unwrap();
     let s = engine.storage();
     assert_eq!(s.total_bits(), branchnet::core::storage::storage_breakdown(&cfg).total_bits());
     // The 0.5 KB preset must land near its label.

@@ -36,7 +36,7 @@ fn offline_training_beats_baseline_on_unseen_inputs() {
 
     let mut hybrid = HybridPredictor::new(&baseline_cfg);
     for (r, m) in pack {
-        hybrid.attach(r.pc, AttachedModel::Float(m));
+        hybrid.attach(r.pc, AttachedModel::Float(m)).expect("float attach");
     }
 
     let mut base_agg = PredictionStats::new();
@@ -67,7 +67,7 @@ fn quantized_engines_also_beat_baseline() {
     let mut hybrid = HybridPredictor::new(&baseline_cfg);
     for (r, m) in pack {
         let quant = QuantizedMini::from_model(&m);
-        hybrid.attach(r.pc, AttachedModel::Engine(InferenceEngine::new(quant)));
+        hybrid.attach(r.pc, AttachedModel::Engine(InferenceEngine::new(quant).unwrap())).unwrap();
     }
 
     let mut base_agg = PredictionStats::new();
@@ -99,7 +99,7 @@ fn data_dependent_benchmark_yields_no_false_positives() {
     // Any model that survives must at least not hurt the test MPKI.
     let mut hybrid = HybridPredictor::new(&baseline_cfg);
     for (r, m) in pack {
-        hybrid.attach(r.pc, AttachedModel::Float(m));
+        hybrid.attach(r.pc, AttachedModel::Float(m)).expect("float attach");
     }
     let mut base_agg = PredictionStats::new();
     let mut hybrid_agg = PredictionStats::new();

@@ -17,7 +17,10 @@
 //! * the default case count is 64 (real proptest: 256) — the figure
 //!   tests here train CNNs per case, so the lower default keeps test
 //!   time sane. Override per block with
-//!   `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`, or for a
+//!   whole run with the `PROPTEST_CASES` environment variable (which
+//!   real proptest also honors; it scales the default, not explicit
+//!   `with_cases` blocks).
 
 use rand::rngs::SmallRng;
 
@@ -55,7 +58,15 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 64 }
+        // Real proptest reads PROPTEST_CASES into its default config;
+        // the chaos CI job uses it to raise coverage without code
+        // edits. Explicit `with_cases(n)` blocks are unaffected.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        Self { cases }
     }
 }
 
