@@ -1,8 +1,12 @@
 //! Fig. 13: sensitivity of iso-latency Mini-BranchNet to its total
-//! storage budget (8 / 16 / 32 / 64 KB packs on the 64 KB baseline).
+//! storage budget (8 / 16 / 32 / 64 KB packs on the 64 KB baseline),
+//! with runtime-only reference lanes (loop-only, local perceptron,
+//! O-GEHL) at their own fixed budgets for context.
 
 use crate::experiments::mini_pack::{cached_menu, pack_from_menu};
-use crate::harness::{baseline_lane, gauntlet_test_stats, hybrid_lane, trace_set, Scale};
+use crate::harness::{
+    baseline_lane, gauntlet_test_stats, hybrid_lane, lineup_lane, trace_set, Scale,
+};
 use crate::json::{FromJson, Json, JsonError, ToJson};
 use crate::parallel::parallel_map;
 use crate::report::{bench_from_json, bench_to_json};
@@ -12,23 +16,50 @@ use branchnet_core::hybrid::{AttachedModel, HybridPredictor};
 use branchnet_tage::TageSclConfig;
 use branchnet_workloads::spec::Benchmark;
 
+/// The lane name of the paper's own sweep points (Mini-BranchNet packs
+/// attached to the TAGE base). Reference points carry a lineup name
+/// instead.
+pub const MINI_PACK_LANE: &str = "mini-pack";
+
+/// The runtime-only baselines measured as fig13 reference points, by
+/// lineup name.
+pub const FIG13_REFERENCE_BASELINES: [&str; 3] = ["loop-only", "local-perceptron", "o-gehl"];
+
 /// One budget point for one benchmark.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig13Point {
     /// The benchmark.
     pub bench: Benchmark,
-    /// Total Mini-BranchNet budget in KB.
+    /// Which lane produced the point: [`MINI_PACK_LANE`] for the
+    /// paper's budget sweep, or a [`branchnet_tage::baseline_lineup`]
+    /// name for a runtime-only reference.
+    pub lane: &'static str,
+    /// Total storage budget in KB: the Mini-BranchNet pack budget, or
+    /// the reference predictor's own storage rounded up.
     pub budget_kb: usize,
     /// MPKI reduction vs the 64 KB baseline (%).
     pub mpki_reduction_pct: f64,
-    /// Models actually attached.
+    /// Models actually attached (0 for reference lanes).
     pub models: usize,
+}
+
+/// Resolves a serialized lane name to its static identity, failing
+/// closed on names no current lane produces.
+fn lane_from_json(json: &Json) -> Result<&'static str, JsonError> {
+    let name = json.as_str()?;
+    if name == MINI_PACK_LANE {
+        return Ok(MINI_PACK_LANE);
+    }
+    branchnet_tage::lineup_entry(name)
+        .map(|e| e.name)
+        .ok_or_else(|| format!("unknown fig13 lane {name:?}"))
 }
 
 impl ToJson for Fig13Point {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("bench", bench_to_json(self.bench)),
+            ("lane", Json::Str(self.lane.to_string())),
             ("budget_kb", Json::Num(self.budget_kb as f64)),
             ("mpki_reduction_pct", Json::Num(self.mpki_reduction_pct)),
             ("models", Json::Num(self.models as f64)),
@@ -40,6 +71,9 @@ impl FromJson for Fig13Point {
     fn from_json(json: &Json) -> Result<Self, JsonError> {
         Ok(Self {
             bench: bench_from_json(json.field("bench")?)?,
+            // Absent in artifacts written before reference lanes
+            // existed (schema v1): every point was a mini-pack point.
+            lane: json.get("lane").map_or(Ok(MINI_PACK_LANE), lane_from_json)?,
             budget_kb: json.field("budget_kb")?.as_usize()?,
             mpki_reduction_pct: json.field("mpki_reduction_pct")?.as_f64()?,
             models: json.field("models")?.as_usize()?,
@@ -47,10 +81,15 @@ impl FromJson for Fig13Point {
     }
 }
 
-/// Sweeps budgets over the given benchmarks.
+/// Sweeps budgets over the given benchmarks; every benchmark also gets
+/// one reference point per [`FIG13_REFERENCE_BASELINES`] entry.
 #[must_use]
 pub fn run(scale: &Scale, benchmarks: &[Benchmark], budgets_kb: &[usize]) -> Vec<Fig13Point> {
     let baseline = TageSclConfig::tage_sc_l_64kb().without_sc_local();
+    let references = FIG13_REFERENCE_BASELINES.map(|name| {
+        branchnet_tage::lineup_entry(name)
+            .unwrap_or_else(|| panic!("{name} missing from baseline_lineup()"))
+    });
     let per_bench = parallel_map(benchmarks, |&bench| {
         let traces = trace_set(bench, scale);
         // One trained menu serves every budget point: only the cheap
@@ -73,25 +112,35 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark], budgets_kb: &[usize]) -> Vec
                 (kb, models, hybrid)
             })
             .collect();
-        // The baseline and every budget point share one gauntlet pass
-        // per test trace.
+        // The baseline, every budget point, and the reference lanes
+        // share one gauntlet pass per test trace.
         let mut lanes = vec![baseline_lane(&baseline)];
         lanes.extend(hybrids.iter().map(|(_, _, h)| hybrid_lane(h)));
+        lanes.extend(references.iter().map(lineup_lane));
         let stats = gauntlet_test_stats(&traces, &lanes);
         let base = stats[0].mpki();
-        hybrids
+        let reduction = |mpki: f64| if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 };
+        let mut points: Vec<Fig13Point> = hybrids
             .iter()
             .zip(&stats[1..])
-            .map(|(&(kb, models, _), s)| {
-                let mpki = s.mpki();
-                Fig13Point {
-                    bench,
-                    budget_kb: kb,
-                    mpki_reduction_pct: if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 },
-                    models,
-                }
+            .map(|(&(kb, models, _), s)| Fig13Point {
+                bench,
+                lane: MINI_PACK_LANE,
+                budget_kb: kb,
+                mpki_reduction_pct: reduction(s.mpki()),
+                models,
             })
-            .collect::<Vec<_>>()
+            .collect();
+        points.extend(references.iter().zip(&stats[1 + hybrids.len()..]).map(|(e, s)| {
+            Fig13Point {
+                bench,
+                lane: e.name,
+                budget_kb: ((e.build)().storage_bits() as usize).div_ceil(8 * 1024),
+                mpki_reduction_pct: reduction(s.mpki()),
+                models: 0,
+            }
+        }));
+        points
     });
     per_bench.into_iter().flatten().collect()
 }
@@ -101,12 +150,13 @@ pub fn run(scale: &Scale, benchmarks: &[Benchmark], budgets_kb: &[usize]) -> Vec
 pub fn render(points: &[Fig13Point]) -> String {
     let mut out = String::from(
         "Fig. 13 — iso-latency Mini-BranchNet MPKI reduction vs storage budget\n\
-         benchmark    budget  models  MPKI reduction\n",
+         benchmark    lane              budget  models  MPKI reduction\n",
     );
     for p in points {
         out.push_str(&format!(
-            "{:<12} {:>4}KB  {:>4}    {:>6.1}%\n",
+            "{:<12} {:<16} {:>4}KB  {:>4}    {:>6.1}%\n",
             p.bench.name(),
+            p.lane,
             p.budget_kb,
             p.models,
             p.mpki_reduction_pct
@@ -124,9 +174,26 @@ mod tests {
         let scale =
             Scale { branches_per_trace: 20_000, candidates: 4, epochs: 6, max_examples: 1_000 };
         let points = run(&scale, &[Benchmark::Xz], &[8, 32]);
-        assert_eq!(points.len(), 2);
-        assert!(points[1].models >= points[0].models);
+        let minis: Vec<&Fig13Point> = points.iter().filter(|p| p.lane == MINI_PACK_LANE).collect();
+        assert_eq!(minis.len(), 2);
+        assert!(minis[1].models >= minis[0].models);
         // Bigger budget should not do meaningfully worse.
-        assert!(points[1].mpki_reduction_pct >= points[0].mpki_reduction_pct - 2.0);
+        assert!(minis[1].mpki_reduction_pct >= minis[0].mpki_reduction_pct - 2.0);
+        // One reference point per registered reference baseline, each
+        // with a real storage figure and no attached models.
+        let refs: Vec<&Fig13Point> = points.iter().filter(|p| p.lane != MINI_PACK_LANE).collect();
+        assert_eq!(refs.len(), FIG13_REFERENCE_BASELINES.len());
+        for r in &refs {
+            assert!(FIG13_REFERENCE_BASELINES.contains(&r.lane));
+            assert!(r.budget_kb > 0);
+            assert_eq!(r.models, 0);
+        }
+    }
+
+    #[test]
+    fn lane_round_trips_and_fails_closed() {
+        assert_eq!(lane_from_json(&Json::Str(MINI_PACK_LANE.into())).unwrap(), MINI_PACK_LANE);
+        assert_eq!(lane_from_json(&Json::Str("o-gehl".into())).unwrap(), "o-gehl");
+        assert!(lane_from_json(&Json::Str("not-a-lane".into())).is_err());
     }
 }

@@ -7,7 +7,7 @@
 //!   to fully-quantized Mini-BranchNet (measured).
 
 use crate::harness::{
-    baseline_lane, cached_pack, gauntlet_test_stats, hybrid_lane, trace_set, Scale,
+    baseline_lane, cached_pack, gauntlet_test_stats, hybrid_lane, lineup_lane, trace_set, Scale,
 };
 use crate::json::{arr_from_json, arr_to_json, FromJson, Json, JsonError, ToJson};
 use crate::report::{bench_from_json, bench_to_json};
@@ -198,9 +198,16 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
         float_hybrid.attach(r.pc, AttachedModel::Float(m.clone())).expect("float attach");
     }
 
-    // The baseline and all five rungs share one gauntlet pass per test
-    // trace.
-    let lanes = [
+    // The baseline, all five rungs, and the runtime-baseline reference
+    // lanes share one gauntlet pass per test trace. Reference lanes
+    // extend the paper's ladder downward: how the best conventional
+    // runtime-only designs fare against the same TAGE base (usually a
+    // negative "reduction" — they are weaker than TAGE-SC-L).
+    let references = TABLE4_REFERENCE_BASELINES.map(|name| {
+        branchnet_tage::lineup_entry(name)
+            .unwrap_or_else(|| panic!("{name} missing from baseline_lineup()"))
+    });
+    let mut lanes = vec![
         baseline_lane(&baseline),
         hybrid_lane(&big_hybrid),
         hybrid_lane(&big_same_hybrid),
@@ -208,26 +215,29 @@ pub fn table4(scale: &Scale, bench: Benchmark) -> Vec<Table4Row> {
         hybrid_lane(&conv_hybrid),
         hybrid_lane(&full_hybrid),
     ];
+    lanes.extend(references.iter().map(lineup_lane));
     let stats = gauntlet_test_stats(&traces, &lanes);
     let base = stats[0].mpki();
     let reduction = |mpki: f64| if base > 0.0 { 100.0 * (base - mpki) / base } else { 0.0 };
 
     let labels = [
-        "Big-BranchNet: no branch capacity limit",
-        "Big-BranchNet: same branches as Mini",
-        "Mini-BranchNet: floating-point",
-        "Mini-BranchNet: quantized convolution",
-        "Mini-BranchNet: fully-quantized",
-    ];
+        "Big-BranchNet: no branch capacity limit".to_string(),
+        "Big-BranchNet: same branches as Mini".to_string(),
+        "Mini-BranchNet: floating-point".to_string(),
+        "Mini-BranchNet: quantized convolution".to_string(),
+        "Mini-BranchNet: fully-quantized".to_string(),
+    ]
+    .into_iter()
+    .chain(references.iter().map(|e| format!("Runtime baseline: {}", e.name)));
     labels
-        .iter()
         .zip(&stats[1..])
-        .map(|(label, s)| Table4Row {
-            label: (*label).to_string(),
-            mpki_reduction_pct: reduction(s.mpki()),
-        })
+        .map(|(label, s)| Table4Row { label, mpki_reduction_pct: reduction(s.mpki()) })
         .collect()
 }
+
+/// The runtime-only baselines appended to the Table IV ladder as
+/// reference rungs, by lineup name.
+pub const TABLE4_REFERENCE_BASELINES: [&str; 3] = ["loop-only", "local-perceptron", "o-gehl"];
 
 /// Paper-style rendering of Table IV.
 #[must_use]
@@ -272,7 +282,7 @@ mod tests {
         let scale =
             Scale { branches_per_trace: 20_000, candidates: 4, epochs: 8, max_examples: 1_200 };
         let rows = table4(&scale, Benchmark::Xz);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 8);
         // Shape: Big (no cap) is the ceiling; fully-quantized is below
         // Mini float (quantization costs accuracy); everything stays
         // positive on a friendly benchmark.
@@ -281,5 +291,17 @@ mod tests {
             rows[4].mpki_reduction_pct <= rows[2].mpki_reduction_pct + 2.0,
             "fully-quantized should not beat float Mini by more than noise: {rows:?}"
         );
+        // The reference rungs: runtime-only baselines, labeled by
+        // lineup name. No ordering vs the CNN rungs is asserted — at
+        // this tiny training scale O-GEHL can legitimately edge out
+        // the starved Big-BranchNet — only that each measured against
+        // the same base and landed in the representable range.
+        for (row, name) in rows[5..].iter().zip(TABLE4_REFERENCE_BASELINES) {
+            assert_eq!(row.label, format!("Runtime baseline: {name}"));
+            assert!(
+                row.mpki_reduction_pct.is_finite() && row.mpki_reduction_pct < 100.0,
+                "a reference rung left the representable range: {rows:?}"
+            );
+        }
     }
 }

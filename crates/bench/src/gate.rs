@@ -360,7 +360,7 @@ pub fn render_violations(violations: &[Violation]) -> String {
 mod tests {
     use super::*;
     use crate::experiments::fig01_headroom::Fig01Row;
-    use crate::experiments::fig13_budget::Fig13Point;
+    use crate::experiments::fig13_budget::{Fig13Point, MINI_PACK_LANE};
     use crate::report::{ExperimentData, ExperimentReport, RunManifest, RunReport};
     use crate::Scale;
     use branchnet_workloads::spec::Benchmark;
@@ -383,6 +383,7 @@ mod tests {
             "fig13",
             ExperimentData::Fig13(vec![Fig13Point {
                 bench: Benchmark::Xz,
+                lane: MINI_PACK_LANE,
                 budget_kb: 32,
                 mpki_reduction_pct: reduction,
                 models,
@@ -468,12 +469,14 @@ mod tests {
             ExperimentData::Fig13(vec![
                 Fig13Point {
                     bench: Benchmark::Xz,
+                    lane: MINI_PACK_LANE,
                     budget_kb: 8,
                     mpki_reduction_pct: 1.0,
                     models: 1,
                 },
                 Fig13Point {
                     bench: Benchmark::Xz,
+                    lane: MINI_PACK_LANE,
                     budget_kb: 32,
                     mpki_reduction_pct: 2.0,
                     models: 2,

@@ -136,6 +136,30 @@ pub fn trace_set(bench: Benchmark, scale: &Scale) -> Arc<TraceSet> {
 /// A factory for one gauntlet lane: called once per test trace to
 /// produce the cold predictor that lane evaluates on that trace
 /// (per-SimPoint cold-start evaluation, as in the paper).
+///
+/// Any custom baseline can join an experiment by boxing a builder —
+/// it rides the same single-pass gauntlet as the stock lanes:
+///
+/// ```
+/// use branchnet_bench::harness::{gauntlet_test_stats, LaneBuilder};
+/// use branchnet_tage::{Gshare, Predictor};
+/// use branchnet_trace::{BranchRecord, Trace, TraceSet};
+///
+/// // A custom baseline: gshare at a deliberately tiny budget.
+/// let tiny_gshare: LaneBuilder = Box::new(|| Box::new(Gshare::new(6, 4)));
+///
+/// let trace = |taken: bool| -> Trace {
+///     (0..200u64).map(|i| BranchRecord::conditional(0x40 + (i % 3) * 8, taken)).collect()
+/// };
+/// let traces = TraceSet {
+///     train: vec![trace(true)],
+///     valid: vec![trace(true)],
+///     test: vec![trace(true), trace(false)],
+/// };
+/// let stats = gauntlet_test_stats(&traces, &[tiny_gshare]);
+/// assert_eq!(stats.len(), 1);
+/// assert!(stats[0].accuracy() > 0.9);
+/// ```
 pub type LaneBuilder<'a> = Box<dyn Fn() -> Box<dyn Predictor + 'a> + Sync + 'a>;
 
 /// A lane evaluating a fresh TAGE-SC-L built from `cfg`. (The lane
@@ -154,6 +178,15 @@ pub fn baseline_lane<'a>(cfg: &TageSclConfig) -> LaneBuilder<'a> {
 #[must_use]
 pub fn hybrid_lane<'a>(hybrid: &'a HybridPredictor) -> LaneBuilder<'a> {
     Box::new(move || Box::new(hybrid.fresh_runtime_clone()))
+}
+
+/// A lane evaluating a registered baseline from
+/// [`branchnet_tage::baseline_lineup`], built cold per trace at its
+/// lineup configuration.
+#[must_use]
+pub fn lineup_lane<'a>(entry: &branchnet_tage::LineupEntry) -> LaneBuilder<'a> {
+    let build = entry.build;
+    Box::new(move || -> Box<dyn Predictor + 'a> { build() })
 }
 
 /// Weighted test-set statistics for every lane at once, in lane order.

@@ -38,7 +38,10 @@ use std::path::{Path, PathBuf};
 /// Version of the report JSON schema. Bump on any change to artifact
 /// field names, metric names, or file layout, and regenerate the
 /// golden baselines (`scripts/regen_baselines.sh`) in the same PR.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `fig13` points gained a `lane` field (mini-pack sweep vs
+/// runtime-baseline reference lanes); `table4` grew reference rungs.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// File name of the run manifest inside a `--json` directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -622,7 +625,14 @@ impl ExperimentData {
             }
             ExperimentData::Fig13(points) => {
                 for p in points {
-                    let row = format!("{}@{}KB", p.bench.name(), p.budget_kb);
+                    // Mini-pack sweep points keep their historical
+                    // budget-keyed rows; reference lanes key by name
+                    // (their budget is a property, not a sweep axis).
+                    let row = if p.lane == crate::experiments::fig13_budget::MINI_PACK_LANE {
+                        format!("{}@{}KB", p.bench.name(), p.budget_kb)
+                    } else {
+                        format!("{}@{}", p.bench.name(), p.lane)
+                    };
                     out.push(num(&row, "mpki_reduction_pct", p.mpki_reduction_pct));
                     out.push(num(&row, "models", p.models as f64));
                 }

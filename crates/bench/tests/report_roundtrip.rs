@@ -10,7 +10,7 @@ use branchnet_bench::experiments::fig09_headroom_mpki::Fig09Row;
 use branchnet_bench::experiments::fig10_branch_accuracy::{Fig10Result, Fig10Row};
 use branchnet_bench::experiments::fig11_practical::{Fig11Row, Setting};
 use branchnet_bench::experiments::fig12_trainset::{Fig12Point, Fig12Sweep};
-use branchnet_bench::experiments::fig13_budget::Fig13Point;
+use branchnet_bench::experiments::fig13_budget::{Fig13Point, MINI_PACK_LANE};
 use branchnet_bench::experiments::mini_pack::MiniPackReport;
 use branchnet_bench::experiments::tables::{Table4Report, Table4Row};
 use branchnet_bench::json::{FromJson, Json, ToJson};
@@ -76,12 +76,22 @@ fn all_variants() -> Vec<ExperimentData> {
                 Fig12Point { examples: 1600, mpki_reduction_pct: 8.25 },
             ],
         }]),
-        ExperimentData::Fig13(vec![Fig13Point {
-            bench: Benchmark::Leela,
-            budget_kb: 32,
-            mpki_reduction_pct: 12.345678901234567,
-            models: 9,
-        }]),
+        ExperimentData::Fig13(vec![
+            Fig13Point {
+                bench: Benchmark::Leela,
+                lane: MINI_PACK_LANE,
+                budget_kb: 32,
+                mpki_reduction_pct: 12.345678901234567,
+                models: 9,
+            },
+            Fig13Point {
+                bench: Benchmark::Leela,
+                lane: "o-gehl",
+                budget_kb: 16,
+                mpki_reduction_pct: -4.5,
+                models: 0,
+            },
+        ]),
         ExperimentData::Table4(Table4Report {
             bench: Benchmark::Leela,
             rows: vec![

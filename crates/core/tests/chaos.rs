@@ -167,6 +167,68 @@ fn every_fault_class_leaves_the_hybrid_sound() {
     );
 }
 
+/// A degraded hybrid (pack rejected, riding the pure TAGE lane) is
+/// bit-identical no matter which runtime baselines share its
+/// gauntlet: an empty gauntlet, any single lineup lane, or the whole
+/// lineup at once. Running those comparison lanes must also leave the
+/// global degradation counters untouched — baselines have no business
+/// near the pack pipeline.
+#[test]
+fn degraded_lane_is_identical_under_any_comparison_lineup() {
+    use branchnet_tage::baseline_lineup;
+    use branchnet_trace::Gauntlet;
+
+    let buf = pack_bytes();
+    let trace = chaos_trace();
+    let baseline_cfg = TageSclConfig::tage_sc_l_64kb();
+    let pure_tage = evaluate(&mut TageScL::new(&baseline_cfg), &trace);
+
+    // A truncated pack always rejects (see the truncation sweep).
+    let torn = &buf[..buf.len() - 1];
+    let degraded = || {
+        let mut hybrid = HybridPredictor::new(&baseline_cfg);
+        assert!(hybrid.attach_pack_bytes(torn).is_err(), "torn pack must reject");
+        assert_eq!(hybrid.stats().packs_rejected, 1);
+        hybrid
+    };
+
+    // Companion rosters: nobody, each lineup baseline alone, everyone.
+    let mut rosters: Vec<Vec<&str>> = vec![Vec::new()];
+    rosters.extend(baseline_lineup().iter().map(|e| vec![e.name]));
+    rosters.push(baseline_lineup().iter().map(|e| e.name).collect());
+
+    let counters_before = branchnet_core::degradation::snapshot();
+    for roster in &rosters {
+        let mut gauntlet = Gauntlet::new();
+        let lane = gauntlet.add(degraded());
+        for name in roster {
+            let entry = branchnet_tage::lineup_entry(name).expect("lineup name");
+            gauntlet.add_boxed((entry.build)());
+        }
+        gauntlet.run(&trace);
+        assert_eq!(
+            gauntlet.stats(lane).mispredictions(),
+            pure_tage.mispredictions(),
+            "degraded lane drifted with companions {roster:?}"
+        );
+        assert_eq!(
+            gauntlet.stats(lane).predictions(),
+            pure_tage.predictions(),
+            "degraded lane saw a different trace with companions {roster:?}"
+        );
+        let results = gauntlet.finish();
+        assert_eq!(results[lane].stats, pure_tage, "lane result drifted {roster:?}");
+    }
+    // Global counter: one rejection per degraded hybrid, at least.
+    // (Exact equality would race with sibling chaos tests on other
+    // threads of this binary, which also reject packs.)
+    let counters_after = branchnet_core::degradation::snapshot();
+    assert!(
+        counters_after.packs_rejected - counters_before.packs_rejected >= rosters.len() as u64,
+        "every degraded hybrid's rejection must reach the global counter"
+    );
+}
+
 /// NaN and out-of-range weight injections anywhere in the float
 /// tables are caught by pack validation, not served to the datapath.
 #[test]

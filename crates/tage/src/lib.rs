@@ -12,7 +12,13 @@
 //! * [`Tage`] — the parametric tagged-geometric-history core.
 //! * Simpler classics used as light-weight predictors or comparison
 //!   points: [`Bimodal`], [`Gshare`], [`TwoLevel`], [`Perceptron`],
-//!   and [`HashedPerceptron`].
+//!   [`HashedPerceptron`], [`LocalPerceptron`] (Jiménez & Lin's
+//!   per-branch-history original), [`LoopOnly`] (the loop component
+//!   standing alone), and [`OGehl`] (Seznec's geometric-history
+//!   adder-tree design).
+//!
+//! The canonical experiment ladder over all of these is
+//! [`baseline_lineup`].
 //!
 //! All predictors implement the shared
 //! [`branchnet_trace::Predictor`] trait and are evaluated with the
@@ -40,7 +46,11 @@
 pub mod bimodal;
 pub mod counters;
 pub mod gshare;
+pub mod lineup;
+pub mod local_perceptron;
+pub mod loop_only;
 pub mod loop_pred;
+pub mod ogehl;
 pub mod perceptron;
 pub mod predictor;
 pub mod sc;
@@ -51,7 +61,11 @@ pub mod twolevel;
 pub use bimodal::Bimodal;
 pub use counters::{SaturatingCounter, UnsignedCounter};
 pub use gshare::Gshare;
+pub use lineup::{baseline_lineup, lineup_entry, HistoryKind, LineupEntry};
+pub use local_perceptron::LocalPerceptron;
+pub use loop_only::LoopOnly;
 pub use loop_pred::LoopPredictor;
+pub use ogehl::OGehl;
 pub use perceptron::{HashedPerceptron, Perceptron};
 #[allow(deprecated)]
 pub use predictor::{evaluate, evaluate_per_branch};

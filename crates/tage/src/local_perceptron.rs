@@ -1,0 +1,156 @@
+//! Jiménez & Lin's original local-history perceptron: per-branch
+//! history shift registers feeding per-branch weight vectors.
+//!
+//! Where [`crate::Perceptron`] correlates against *global* history,
+//! this variant keeps a private outcome register per branch, so it
+//! learns self-correlated patterns (parity, short periodic sequences)
+//! even when interleaved branches pollute the global history — the
+//! workload family that motivates BranchNet's per-branch CNNs in the
+//! first place.
+
+use crate::predictor::Predictor;
+use branchnet_trace::BranchRecord;
+
+/// Perceptron predictor over per-branch local history
+/// (Jiménez & Lin, HPCA 2001, the original table-indexed variant).
+#[derive(Debug, Clone)]
+pub struct LocalPerceptron {
+    /// Per-row local outcome shift registers (bit 0 = most recent).
+    histories: Vec<u64>,
+    /// `weights[row][i]` correlates with history bit `i`; the last
+    /// element is the bias weight.
+    weights: Vec<Vec<i16>>,
+    history_bits: u32,
+    log_size: u32,
+    threshold: i32,
+    /// Adder-tree sum stashed by `predict` for the matching `update`.
+    last_sum: i32,
+}
+
+impl LocalPerceptron {
+    /// Creates a local perceptron with `2^log_size` rows and
+    /// `history_bits` of per-branch history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_size` is not in `1..=24` or `history_bits` not
+    /// in `1..=63`.
+    #[must_use]
+    pub fn new(log_size: u32, history_bits: u32) -> Self {
+        assert!((1..=24).contains(&log_size), "log_size out of range: {log_size}");
+        assert!((1..=63).contains(&history_bits), "history_bits out of range: {history_bits}");
+        let rows = 1usize << log_size;
+        // Jiménez's empirically best threshold for history length h.
+        let threshold = (1.93 * f64::from(history_bits) + 14.0) as i32;
+        Self {
+            histories: vec![0; rows],
+            weights: vec![vec![0; history_bits as usize + 1]; rows],
+            history_bits,
+            log_size,
+            threshold,
+            last_sum: 0,
+        }
+    }
+
+    fn row(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.log_size) - 1)) as usize
+    }
+
+    fn sum(&self, row: usize) -> i32 {
+        let history = self.histories[row];
+        let weights = &self.weights[row];
+        let mut sum = i32::from(weights[self.history_bits as usize]);
+        for (i, &w) in weights[..self.history_bits as usize].iter().enumerate() {
+            if history >> i & 1 == 1 {
+                sum += i32::from(w);
+            } else {
+                sum -= i32::from(w);
+            }
+        }
+        sum
+    }
+}
+
+impl Predictor for LocalPerceptron {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.last_sum = self.sum(self.row(pc));
+        self.last_sum >= 0
+    }
+
+    fn update(&mut self, record: &BranchRecord, predicted: bool) {
+        let row = self.row(record.pc);
+        let taken = record.taken;
+        if predicted != taken || self.last_sum.abs() <= self.threshold {
+            let history = self.histories[row];
+            let weights = &mut self.weights[row];
+            let step: i16 = if taken { 1 } else { -1 };
+            let h = self.history_bits as usize;
+            weights[h] = (weights[h] + step).clamp(-128, 127);
+            for (i, w) in weights[..h].iter_mut().enumerate() {
+                let agree = (history >> i & 1 == 1) == taken;
+                let delta: i16 = if agree { 1 } else { -1 };
+                *w = (*w + delta).clamp(-128, 127);
+            }
+        }
+        self.histories[row] =
+            (self.histories[row] << 1 | u64::from(taken)) & ((1 << self.history_bits) - 1);
+    }
+
+    fn flush(&mut self) {
+        *self = Self::new(self.log_size, self.history_bits);
+    }
+
+    fn name(&self) -> &'static str {
+        "local-perceptron"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let rows = 1u64 << self.log_size;
+        let history = rows * u64::from(self.history_bits);
+        let weights = rows * (u64::from(self.history_bits) + 1) * 8;
+        history + weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use branchnet_trace::{run_one, Trace};
+
+    #[test]
+    fn learns_a_local_periodic_pattern() {
+        // T T N repeating: each outcome is a linear function of the
+        // two previous *local* outcomes; a perceptron nails it.
+        let trace: Trace = (0..600).map(|i| BranchRecord::conditional(0x400, i % 3 != 2)).collect();
+        let stats = run_one(&mut LocalPerceptron::new(8, 12), &trace);
+        assert!(stats.accuracy() > 0.95, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn history_bit_zero_is_most_recent_outcome() {
+        // Alternating T/N is exactly "predict the opposite of the last
+        // outcome" — learnable with a single history bit.
+        let trace: Trace = (0..400).map(|i| BranchRecord::conditional(0x80, i % 2 == 0)).collect();
+        let stats = run_one(&mut LocalPerceptron::new(4, 1), &trace);
+        assert!(stats.accuracy() > 0.9, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn interleaved_branches_use_separate_rows() {
+        // Two branches with opposite periodic patterns; private
+        // histories mean neither disturbs the other.
+        let mut trace = Trace::new();
+        for i in 0..500 {
+            trace.push(BranchRecord::conditional(0x100, i % 3 != 2));
+            trace.push(BranchRecord::conditional(0x200, i % 3 == 2));
+        }
+        let stats = run_one(&mut LocalPerceptron::new(8, 12), &trace);
+        assert!(stats.accuracy() > 0.95, "accuracy {}", stats.accuracy());
+    }
+
+    #[test]
+    fn storage_accounts_history_and_weights() {
+        let p = LocalPerceptron::new(10, 16);
+        assert_eq!(p.storage_bits(), 1024 * 16 + 1024 * 17 * 8);
+    }
+}

@@ -14,6 +14,17 @@ pub use branchnet_trace::{AlwaysTaken, Predictor, StaticBias};
 use branchnet_trace::{BranchStats, PredictionStats, Trace};
 
 /// Runs `predictor` over `trace` and returns aggregate statistics.
+///
+/// Deprecated: call [`branchnet_trace::run_one`] directly instead —
+/// it is the same single-lane loop without the extra crate hop.
+///
+/// ```
+/// use branchnet_trace::{run_one, AlwaysTaken, BranchRecord, Trace};
+///
+/// let trace: Trace = (0..8).map(|_| BranchRecord::conditional(0x10, true)).collect();
+/// let stats = run_one(&mut AlwaysTaken, &trace);
+/// assert_eq!(stats.mispredictions(), 0.0);
+/// ```
 #[deprecated(note = "use branchnet_trace::run_one, or a branchnet_trace::Gauntlet \
                      to evaluate several predictors in one pass")]
 pub fn evaluate(predictor: &mut dyn Predictor, trace: &Trace) -> PredictionStats {
@@ -21,6 +32,17 @@ pub fn evaluate(predictor: &mut dyn Predictor, trace: &Trace) -> PredictionStats
 }
 
 /// Like [`evaluate`] but also returns per-static-branch statistics.
+///
+/// Deprecated: call [`branchnet_trace::run_one_per_branch`] directly
+/// instead, or add the predictor as a tracked `Gauntlet` lane.
+///
+/// ```
+/// use branchnet_trace::{run_one_per_branch, AlwaysTaken, BranchRecord, Trace};
+///
+/// let trace: Trace = (0..8).map(|i| BranchRecord::conditional(0x10, i % 2 == 0)).collect();
+/// let per_branch = run_one_per_branch(&mut AlwaysTaken, &trace);
+/// assert_eq!(per_branch.get(0x10).unwrap().mispredictions(), 4.0);
+/// ```
 #[deprecated(note = "use branchnet_trace::run_one_per_branch, or a tracked \
                      branchnet_trace::Gauntlet lane")]
 pub fn evaluate_per_branch(predictor: &mut dyn Predictor, trace: &Trace) -> BranchStats {

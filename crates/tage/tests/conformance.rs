@@ -1,0 +1,87 @@
+//! Conformance-suite instantiations for every runtime baseline in
+//! [`baseline_lineup`], at the exact configurations the experiments
+//! run. A predictor that joins the lineup without a
+//! `predictor_conformance!` module here trips
+//! [`every_lineup_entry_has_a_conformance_module`], which is the
+//! failure the dedicated conformance CI step exists to surface.
+
+use branchnet_tage::{baseline_lineup, lineup_entry, LineupEntry};
+use branchnet_trace::conformance::{
+    assert_deterministic_replay, assert_flush_recovers_cold_start, assert_gauntlet_matches_solo,
+    assert_storage_within, mixed_trace,
+};
+use branchnet_trace::predictor_conformance;
+
+/// The lineup entry for `name`, or a panic naming the missing entry.
+fn entry(name: &str) -> LineupEntry {
+    lineup_entry(name).unwrap_or_else(|| panic!("{name} is not in baseline_lineup()"))
+}
+
+predictor_conformance!(bimodal, entry("bimodal").nominal_budget_bits, entry("bimodal").build);
+predictor_conformance!(gshare, entry("gshare").nominal_budget_bits, entry("gshare").build);
+predictor_conformance!(two_level, entry("two-level").nominal_budget_bits, entry("two-level").build);
+predictor_conformance!(loop_only, entry("loop-only").nominal_budget_bits, entry("loop-only").build);
+predictor_conformance!(
+    perceptron,
+    entry("perceptron").nominal_budget_bits,
+    entry("perceptron").build
+);
+predictor_conformance!(
+    local_perceptron,
+    entry("local-perceptron").nominal_budget_bits,
+    entry("local-perceptron").build
+);
+predictor_conformance!(
+    hashed_perceptron,
+    entry("hashed-perceptron").nominal_budget_bits,
+    entry("hashed-perceptron").build
+);
+predictor_conformance!(o_gehl, entry("o-gehl").nominal_budget_bits, entry("o-gehl").build);
+predictor_conformance!(
+    tage_sc_l_64kb,
+    entry("tage-sc-l-64kb").nominal_budget_bits,
+    entry("tage-sc-l-64kb").build
+);
+
+/// Pins the lineup roster to the instantiations above: growing (or
+/// renaming) the lineup without extending this file fails here with an
+/// actionable message instead of silently skipping conformance.
+#[test]
+fn every_lineup_entry_has_a_conformance_module() {
+    let covered = [
+        "bimodal",
+        "gshare",
+        "two-level",
+        "loop-only",
+        "perceptron",
+        "local-perceptron",
+        "hashed-perceptron",
+        "o-gehl",
+        "tage-sc-l-64kb",
+    ];
+    let lineup: Vec<&str> = baseline_lineup().iter().map(|e| e.name).collect();
+    assert_eq!(
+        lineup, covered,
+        "baseline_lineup() and the predictor_conformance! instantiations in \
+         crates/tage/tests/conformance.rs are out of sync — add or remove a module"
+    );
+}
+
+/// Belt-and-braces sweep driven by the registry itself: even if an
+/// instantiation above were deleted, every registered entry still gets
+/// one deterministic pass over each contract.
+#[test]
+fn whole_lineup_passes_contracts_on_a_deterministic_trace() {
+    let ops: Vec<(u8, bool)> =
+        (0..180u32).map(|i| ((i % 6) as u8, i.wrapping_mul(2654435761) % 7 < 3)).collect();
+    let warmup = mixed_trace(&ops[..90]);
+    let trace = mixed_trace(&ops);
+    for e in baseline_lineup() {
+        assert_gauntlet_matches_solo(&e.build, &trace);
+        assert_flush_recovers_cold_start(&e.build, &warmup, &trace);
+        assert_deterministic_replay(&e.build, &trace);
+        assert_storage_within(&e.build, e.nominal_budget_bits);
+        let built = (e.build)();
+        assert!(built.storage_bits() > 0, "{}: a lineup baseline must model storage", e.name);
+    }
+}

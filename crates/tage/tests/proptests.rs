@@ -1,42 +1,25 @@
 //! Property-based tests for the runtime predictors and the gauntlet
 //! evaluator that drives them.
+//!
+//! Per-predictor contracts (gauntlet==solo, flush==fresh, determinism,
+//! storage ceilings) live in the shared conformance suite
+//! (`branchnet_trace::conformance`, instantiated in
+//! `tests/conformance.rs`); this file keeps the properties that span
+//! the whole lineup at once or are specific to TAGE-SC-L.
 
-use branchnet_tage::{
-    Bimodal, Gshare, HashedPerceptron, Perceptron, Predictor, TageScL, TageSclConfig, TwoLevel,
-};
+use branchnet_tage::{baseline_lineup, Predictor, TageScL, TageSclConfig};
+use branchnet_trace::conformance::mixed_trace;
 use branchnet_trace::{run_one, BranchKind, BranchRecord, Gauntlet, Trace};
 use proptest::prelude::*;
 
-/// Every baseline family, freshly constructed — the lineup both the
-/// totality and the gauntlet-equivalence properties run against.
-fn baseline_lineup() -> Vec<Box<dyn Predictor>> {
-    vec![
-        Box::new(Bimodal::new(10, 2)),
-        Box::new(Gshare::new(10, 8)),
-        Box::new(TwoLevel::new(10, true)),
-        Box::new(Perceptron::new(6, 12)),
-        Box::new(HashedPerceptron::new(8, &[0, 4, 8])),
-        Box::new(TageScL::new(&TageSclConfig::tage_sc_l_64kb())),
-    ]
-}
-
-/// A mixed conditional/unconditional trace from an arbitrary op
-/// stream.
-fn mixed_trace(ops: &[(u8, bool)]) -> Trace {
-    ops.iter()
-        .map(|&(slot, taken)| {
-            let pc = 0x4000 + u64::from(slot) * 32;
-            if slot % 3 == 0 {
-                BranchRecord::unconditional(pc, pc + 64, BranchKind::Jump)
-            } else {
-                BranchRecord::conditional(pc, taken)
-            }
-        })
-        .collect()
+/// Every registered baseline, freshly constructed at its experiment
+/// configuration.
+fn lineup() -> Vec<Box<dyn Predictor>> {
+    baseline_lineup().into_iter().map(|e| (e.build)()).collect()
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+    #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Every predictor is total: arbitrary PC/direction streams never
     /// panic, and the accounting matches the stream length.
@@ -46,86 +29,26 @@ proptest! {
     ) {
         let trace: Trace =
             stream.iter().map(|&(pc, t)| BranchRecord::conditional(pc << 2, t)).collect();
-        for p in &mut baseline_lineup() {
+        for p in &mut lineup() {
             let stats = run_one(p.as_mut(), &trace);
             prop_assert!((stats.predictions() - trace.len() as f64).abs() < 1e-9);
             prop_assert!(stats.accuracy() >= 0.0 && stats.accuracy() <= 1.0);
         }
     }
 
-    /// A perfectly biased branch is learned by every predictor to
-    /// near-perfection once warm.
+    /// A perfectly biased branch is learned by every registered
+    /// baseline to near-perfection once warm.
     #[test]
     fn all_predictors_learn_constant_direction(taken in any::<bool>(), pc in 1u64..1000) {
         let trace: Trace =
             (0..300).map(|_| BranchRecord::conditional(pc << 3, taken)).collect();
-        let mut predictors: Vec<Box<dyn Predictor>> = vec![
-            Box::new(Bimodal::new(10, 2)),
-            Box::new(Gshare::new(10, 8)),
-            Box::new(Perceptron::new(6, 12)),
-        ];
-        for p in &mut predictors {
+        for p in &mut lineup() {
             let stats = run_one(p.as_mut(), &trace);
             prop_assert!(
-                stats.mispredictions() <= 5.0,
+                stats.mispredictions() <= 8.0,
                 "{} mispredicted a constant branch {} times",
                 p.name(),
                 stats.mispredictions()
-            );
-        }
-    }
-
-    /// The tentpole equivalence: one multi-lane gauntlet pass over a
-    /// trace produces, per lane, byte-identical statistics to running
-    /// each predictor alone — for every baseline family at once, on
-    /// arbitrary mixed control flow.
-    #[test]
-    fn gauntlet_single_pass_matches_sequential_runs(
-        ops in prop::collection::vec((0u8..6, any::<bool>()), 1..300)
-    ) {
-        let trace = mixed_trace(&ops);
-
-        // Sequential reference: one predictor at a time.
-        let solo: Vec<_> = baseline_lineup()
-            .iter_mut()
-            .map(|p| run_one(p.as_mut(), &trace))
-            .collect();
-
-        // Single pass: all predictors as lanes of one gauntlet.
-        let mut gauntlet = Gauntlet::new();
-        for p in baseline_lineup() {
-            gauntlet.add_boxed(p);
-        }
-        gauntlet.run(&trace);
-        let lanes = gauntlet.finish();
-
-        prop_assert_eq!(lanes.len(), solo.len());
-        for (lane, solo_stats) in lanes.iter().zip(&solo) {
-            prop_assert_eq!(&lane.stats, solo_stats, "lane {} diverged", lane.name);
-        }
-    }
-
-    /// `flush` restores every baseline to exactly its
-    /// freshly-constructed behavior: a flushed predictor replaying a
-    /// trace matches a brand-new one bit for bit, even after arbitrary
-    /// warm-up history.
-    #[test]
-    fn flush_recovers_cold_start(
-        warmup in prop::collection::vec((0u8..6, any::<bool>()), 1..200),
-        replay in prop::collection::vec((0u8..6, any::<bool>()), 1..200),
-    ) {
-        let warmup_trace = mixed_trace(&warmup);
-        let replay_trace = mixed_trace(&replay);
-        for (mut warmed, mut cold) in baseline_lineup().into_iter().zip(baseline_lineup()) {
-            run_one(warmed.as_mut(), &warmup_trace);
-            warmed.flush();
-            let after_flush = run_one(warmed.as_mut(), &replay_trace);
-            let from_new = run_one(cold.as_mut(), &replay_trace);
-            prop_assert_eq!(
-                &after_flush,
-                &from_new,
-                "{}: flush must equal fresh construction",
-                warmed.name()
             );
         }
     }
@@ -141,7 +64,7 @@ proptest! {
         let traces = [mixed_trace(&first), mixed_trace(&second)];
 
         let mut gauntlet = Gauntlet::new();
-        for p in baseline_lineup() {
+        for p in lineup() {
             gauntlet.add_boxed(p);
         }
         for t in &traces {
@@ -150,7 +73,7 @@ proptest! {
         }
         let lanes = gauntlet.finish();
 
-        for (i, mut p) in baseline_lineup().into_iter().enumerate() {
+        for (i, mut p) in lineup().into_iter().enumerate() {
             let mut expected = branchnet_trace::PredictionStats::new();
             for t in &traces {
                 expected.merge(&run_one(p.as_mut(), t));
@@ -200,28 +123,27 @@ fn storage_ordering_across_configs() {
 }
 
 /// `storage_bits` sanity against the paper's budgets (Table II /
-/// Section VI): every baseline must report a plausible, non-zero
-/// hardware cost that sits inside its nominal budget class.
+/// Section VI): every registered baseline must report a plausible,
+/// non-zero hardware cost inside its nominal budget class, and the
+/// paper's 64 KB TAGE-SC-L flagship must sit inside — but near — its
+/// budget.
 #[test]
 fn storage_bits_match_nominal_budgets() {
     let kb = |bits: u64| bits as f64 / 8.0 / 1024.0;
 
-    // Named small baselines: (predictor, nominal KB ceiling).
-    let cases: Vec<(Box<dyn Predictor>, f64)> = vec![
-        (Box::new(Bimodal::new(15, 2)), 8.0),
-        (Box::new(Gshare::new(14, 12)), 4.1),
-        (Box::new(TwoLevel::new(16, true)), 17.0),
-        (Box::new(Perceptron::new(10, 32)), 33.1),
-        (Box::new(HashedPerceptron::default_config()), 32.1),
-    ];
-    for (p, ceiling_kb) in cases {
-        let got = kb(p.storage_bits());
-        assert!(got > 0.0, "{} reports zero storage", p.name());
-        assert!(got <= ceiling_kb, "{}: {got:.2}KB exceeds its {ceiling_kb}KB class", p.name());
+    for e in baseline_lineup() {
+        let p = (e.build)();
+        let got = p.storage_bits();
+        assert!(got > 0, "{} reports zero storage", e.name);
+        assert!(
+            got <= e.nominal_budget_bits,
+            "{}: {:.2}KB exceeds its {:.2}KB class",
+            e.name,
+            kb(got),
+            kb(e.nominal_budget_bits)
+        );
     }
 
-    // The paper's baseline: 64 KB TAGE-SC-L within budget, and its
-    // 56 KB iso-storage sibling strictly smaller.
     let full = TageScL::new(&TageSclConfig::tage_sc_l_64kb()).storage_bits();
     assert!(kb(full) <= 64.0, "64KB baseline: {:.2}KB", kb(full));
     assert!(kb(full) >= 48.0, "64KB baseline suspiciously small: {:.2}KB", kb(full));

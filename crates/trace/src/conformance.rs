@@ -1,0 +1,233 @@
+//! The universal predictor-conformance suite.
+//!
+//! Every predictor that enters the experiment lineup must uphold the
+//! same four contracts, regardless of its internals:
+//!
+//! 1. **Gauntlet == solo** — a lane inside a multi-lane [`Gauntlet`]
+//!    produces bit-identical statistics to a solo [`run_one`] pass
+//!    (lanes never interact);
+//! 2. **Flush == fresh** — [`Predictor::flush`] restores exactly the
+//!    freshly-constructed behavior;
+//! 3. **Determinism** — two fresh instances replaying the same trace
+//!    agree bit for bit, down to per-branch statistics;
+//! 4. **Storage honesty** — [`Predictor::storage_bits`] is non-zero,
+//!    within the nominal budget, and constant at runtime.
+//!
+//! The assertion helpers here are plain panicking functions so they
+//! compose with any harness; the [`predictor_conformance!`] macro
+//! wraps them in a ready-made property-test module for one predictor.
+//! Test crates instantiate the macro once per lineup entry, which is
+//! what the dedicated conformance CI step runs.
+
+use crate::gauntlet::{run_one, run_one_per_branch, Gauntlet};
+use crate::predict::{AlwaysTaken, Predictor};
+use crate::record::{BranchKind, BranchRecord};
+use crate::trace::Trace;
+
+/// Builds a mixed conditional/unconditional trace from an op stream:
+/// each `(slot, taken)` becomes a branch at a slot-derived PC, and
+/// every third slot is an unconditional jump (exercising
+/// [`Predictor::note_unconditional`]).
+#[must_use]
+pub fn mixed_trace(ops: &[(u8, bool)]) -> Trace {
+    ops.iter()
+        .map(|&(slot, taken)| {
+            let pc = 0x4000 + u64::from(slot) * 32;
+            if slot % 3 == 0 {
+                BranchRecord::unconditional(pc, pc + 64, BranchKind::Jump)
+            } else {
+                BranchRecord::conditional(pc, taken)
+            }
+        })
+        .collect()
+}
+
+/// Contract 1: driving the predictor as one lane of a multi-lane
+/// gauntlet (companion lanes before *and* after it) yields statistics
+/// bit-identical to a solo [`run_one`] pass.
+pub fn assert_gauntlet_matches_solo(build: &dyn Fn() -> Box<dyn Predictor>, trace: &Trace) {
+    let solo = run_one(build().as_mut(), trace);
+
+    let mut gauntlet = Gauntlet::new();
+    gauntlet.add(AlwaysTaken);
+    let lane = gauntlet.add_boxed(build());
+    let twin = gauntlet.add_boxed(build());
+    gauntlet.add(AlwaysTaken);
+    gauntlet.run(trace);
+    let name = build().name();
+    assert_eq!(gauntlet.stats(lane), &solo, "{name}: gauntlet lane diverged from solo run");
+    assert_eq!(
+        gauntlet.stats(twin),
+        &solo,
+        "{name}: twin lane diverged — lanes are not independent"
+    );
+}
+
+/// Contract 2: after arbitrary warm-up, [`Predictor::flush`] restores
+/// exactly the freshly-constructed behavior on a replay trace, down to
+/// per-branch statistics.
+pub fn assert_flush_recovers_cold_start(
+    build: &dyn Fn() -> Box<dyn Predictor>,
+    warmup: &Trace,
+    replay: &Trace,
+) {
+    let mut warmed = build();
+    run_one(warmed.as_mut(), warmup);
+    warmed.flush();
+    let after_flush = run_one_per_branch(warmed.as_mut(), replay);
+    let from_new = run_one_per_branch(build().as_mut(), replay);
+    assert_eq!(after_flush, from_new, "{}: flush must equal fresh construction", warmed.name());
+}
+
+/// Contract 3: prediction is a deterministic function of the trace —
+/// two fresh instances replaying the same records agree bit for bit.
+pub fn assert_deterministic_replay(build: &dyn Fn() -> Box<dyn Predictor>, trace: &Trace) {
+    let first = run_one_per_branch(build().as_mut(), trace);
+    let second = run_one_per_branch(build().as_mut(), trace);
+    assert_eq!(first, second, "{}: replay must be deterministic", build().name());
+}
+
+/// Contract 4: `storage_bits` reports a cost within `budget_bits`,
+/// and the figure does not drift as the predictor runs (hardware does
+/// not grow tables at runtime). Zero is allowed — the trait documents
+/// it as "not meaningful" for oracle/static predictors.
+pub fn assert_storage_within(build: &dyn Fn() -> Box<dyn Predictor>, budget_bits: u64) {
+    let mut p = build();
+    let nominal = p.storage_bits();
+    assert!(
+        nominal <= budget_bits,
+        "{}: {nominal} bits exceeds the nominal budget of {budget_bits}",
+        p.name()
+    );
+    let ops: Vec<(u8, bool)> = (0..64u8).map(|i| (i % 6, i % 5 < 2)).collect();
+    run_one(p.as_mut(), &mixed_trace(&ops));
+    assert_eq!(p.storage_bits(), nominal, "{}: storage drifted at runtime", p.name());
+}
+
+/// Instantiates the full conformance suite for one predictor.
+///
+/// Expands to a test module named `$mod_name` containing property
+/// tests for the four contracts documented at
+/// [module level](self). The caller's crate must have `proptest` as a
+/// dev-dependency (the workspace's vendored mini-proptest).
+///
+/// ```
+/// use branchnet_trace::{predictor_conformance, StaticBias};
+///
+/// predictor_conformance!(static_bias, 128, || Box::new(StaticBias::default()));
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! predictor_conformance {
+    ($mod_name:ident, $budget_bits:expr, $build:expr) => {
+        mod $mod_name {
+            #[allow(unused_imports)]
+            use super::*;
+
+            fn build() -> Box<dyn $crate::Predictor> {
+                ($build)()
+            }
+
+            ::proptest::proptest! {
+                #![proptest_config(::proptest::ProptestConfig::with_cases(16))]
+
+                #[test]
+                fn gauntlet_pass_matches_solo_run(
+                    ops in ::proptest::collection::vec((0u8..6, ::proptest::any::<bool>()), 1..200)
+                ) {
+                    let trace = $crate::conformance::mixed_trace(&ops);
+                    $crate::conformance::assert_gauntlet_matches_solo(&build, &trace);
+                }
+
+                #[test]
+                fn flush_equals_fresh_construction(
+                    warmup in ::proptest::collection::vec((0u8..6, ::proptest::any::<bool>()), 1..150),
+                    replay in ::proptest::collection::vec((0u8..6, ::proptest::any::<bool>()), 1..150),
+                ) {
+                    $crate::conformance::assert_flush_recovers_cold_start(
+                        &build,
+                        &$crate::conformance::mixed_trace(&warmup),
+                        &$crate::conformance::mixed_trace(&replay),
+                    );
+                }
+
+                #[test]
+                fn replay_is_deterministic(
+                    ops in ::proptest::collection::vec((0u8..6, ::proptest::any::<bool>()), 1..200)
+                ) {
+                    let trace = $crate::conformance::mixed_trace(&ops);
+                    $crate::conformance::assert_deterministic_replay(&build, &trace);
+                }
+            }
+
+            #[test]
+            pub fn storage_bits_within_nominal_budget() {
+                $crate::conformance::assert_storage_within(&build, $budget_bits);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::StaticBias;
+
+    #[test]
+    fn mixed_trace_interleaves_unconditional_jumps() {
+        let ops: Vec<(u8, bool)> = (0..12u8).map(|i| (i % 6, i % 2 == 0)).collect();
+        let trace = mixed_trace(&ops);
+        assert_eq!(trace.len(), 12);
+        assert!(trace.records().iter().any(|r| !r.kind.is_conditional()));
+        assert!(trace.records().iter().any(|r| r.kind.is_conditional()));
+    }
+
+    #[test]
+    fn helpers_accept_the_simplest_predictors() {
+        let build: &dyn Fn() -> Box<dyn Predictor> = &|| Box::new(AlwaysTaken);
+        let ops: Vec<(u8, bool)> = (0..40u8).map(|i| (i % 6, i % 3 == 0)).collect();
+        let trace = mixed_trace(&ops);
+        assert_gauntlet_matches_solo(build, &trace);
+        assert_deterministic_replay(build, &trace);
+        assert_flush_recovers_cold_start(build, &trace, &trace);
+    }
+
+    #[test]
+    fn zero_storage_predictors_pass_within_any_budget() {
+        assert_storage_within(&|| Box::new(AlwaysTaken), 0);
+        assert_storage_within(&|| Box::new(StaticBias::default()), 64);
+    }
+
+    /// A deliberately dishonest predictor: claims more storage than
+    /// its budget, and grows it as it trains.
+    struct Dishonest {
+        bits: u64,
+    }
+
+    impl Predictor for Dishonest {
+        fn predict(&mut self, _pc: u64) -> bool {
+            true
+        }
+        fn update(&mut self, _record: &BranchRecord, _predicted: bool) {
+            self.bits += 1;
+        }
+        fn name(&self) -> &'static str {
+            "dishonest"
+        }
+        fn storage_bits(&self) -> u64 {
+            self.bits
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the nominal budget")]
+    fn over_budget_storage_is_rejected() {
+        assert_storage_within(&|| Box::new(Dishonest { bits: 100 }), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "storage drifted at runtime")]
+    fn runtime_storage_drift_is_rejected() {
+        assert_storage_within(&|| Box::new(Dishonest { bits: 10 }), 1 << 40);
+    }
+}

@@ -17,6 +17,10 @@
 //!   implements,
 //! * [`gauntlet`] — the [`Gauntlet`](gauntlet::Gauntlet), which drives
 //!   N predictors over a trace in a single pass,
+//! * [`conformance`] — the universal predictor-conformance contracts
+//!   (gauntlet==solo, flush==fresh, determinism, storage honesty) and
+//!   the [`predictor_conformance!`] macro that instantiates them as a
+//!   test suite for any predictor,
 //! * [`fault`] — deterministic fault injection
 //!   ([`FaultPlan`](fault::FaultPlan), corrupting `Read`/`Write`
 //!   wrappers) for chaos-testing every consumer of untrusted bytes.
@@ -34,6 +38,7 @@
 //! assert_eq!(trace.records()[0].pc, 0x400_100);
 //! ```
 
+pub mod conformance;
 pub mod fault;
 pub mod gauntlet;
 pub mod history;

@@ -102,7 +102,7 @@ impl PredictionStats {
 /// Per-static-branch prediction statistics, keyed by PC. Used to rank
 /// the 100 highest-MPKI branches in the validation set (paper
 /// Section V-E) and to report per-branch accuracies (Fig. 10).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BranchStats {
     per_pc: HashMap<u64, PredictionStats>,
     totals: PredictionStats,

@@ -1,0 +1,19 @@
+//! Conformance-suite instantiations for the trace crate's own
+//! predictors — the trivial end of the spectrum, which pins down the
+//! suite's semantics for stateless and offline-configured predictors
+//! (a [`StaticBias`] profile must survive `flush`, and zero storage
+//! is legal for predictors without modeled hardware).
+
+use branchnet_trace::{predictor_conformance, AlwaysTaken, BranchRecord, StaticBias, Trace};
+
+predictor_conformance!(always_taken, 0, || Box::new(AlwaysTaken));
+
+predictor_conformance!(static_bias_empty, 0, || Box::new(StaticBias::default()));
+
+predictor_conformance!(static_bias_profiled, 0, || {
+    // A fixed profile over the conformance suite's PC range: offline
+    // configuration that must survive flush bit-for-bit.
+    let profile: Trace =
+        (0..32u64).map(|i| BranchRecord::conditional(0x4000 + (i % 6) * 32, i % 3 == 0)).collect();
+    Box::new(StaticBias::from_profile(&profile))
+});

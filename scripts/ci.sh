@@ -21,6 +21,15 @@ cargo build --release --workspace
 echo "== test (release) =="
 cargo test -q --release --workspace
 
+echo "== predictor conformance (every lineup baseline + hybrid) =="
+# A named pass over the shared conformance suites so a baseline that
+# skips lineup registration (or a predictor that violates the
+# gauntlet/flush/storage contracts) fails loudly, not buried in the
+# workspace wall of tests.
+cargo test -q --release -p branchnet-trace --test conformance
+cargo test -q --release -p branchnet-tage --test conformance
+cargo test -q --release -p branchnet-core --test conformance
+
 echo "== rustfmt =="
 cargo fmt --all --check
 
